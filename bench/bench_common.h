@@ -1,0 +1,87 @@
+// Shared helpers for the experiment harness (E1..E9). Each bench binary
+// regenerates one of the paper-claim experiments catalogued in DESIGN.md §2
+// and prints a table; EXPERIMENTS.md records claim vs. measured.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "client/cluster.h"
+#include "tests/test_util.h"
+#include "workload/driver.h"
+
+namespace vsr::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Measures per-phase transaction latency at the client primary: the remote
+// call portion and the commit decision (prepare + committing-force) portion.
+struct PhaseLatencies {
+  workload::LatencyRecorder call;      // Fig. 2 "making a remote call"
+  workload::LatencyRecorder decision;  // body-done .. outcome known
+  workload::LatencyRecorder total;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+// Runs `txns` sequential single-call transactions ("put" on a kv group),
+// recording phase latencies. `think_time` models user computation between
+// the call and the commit request (§3.7's normal case: by commit time the
+// completed-call records have already reached a sub-majority in background).
+inline PhaseLatencies MeasureTxnPhases(client::Cluster& cluster,
+                                       vr::GroupId client_g,
+                                       vr::GroupId server_g, int txns,
+                                       sim::Duration think_time = 0) {
+  PhaseLatencies out;
+  for (int i = 0; i < txns; ++i) {
+    core::Cohort* primary = cluster.AnyPrimary(client_g);
+    if (primary == nullptr) break;
+    bool done = false;
+    sim::Time start = cluster.sim().Now();
+    sim::Time call_done = start;
+    const std::string args = "k" + std::to_string(i % 16) + "=v";
+    sim::Scheduler* sched = &cluster.sim().scheduler();
+    primary->SpawnTransaction(
+        [&, server_g, sched](core::TxnHandle& h) -> sim::Task<bool> {
+          co_await h.Call(server_g, "put", args);
+          if (think_time > 0) co_await sim::Sleep(*sched, think_time);
+          call_done = cluster.sim().Now();
+          co_return true;
+        },
+        [&](vr::TxnOutcome o) {
+          done = true;
+          if (o == vr::TxnOutcome::kCommitted) {
+            ++out.committed;
+            out.call.Add(call_done - start);
+            out.decision.Add(cluster.sim().Now() - call_done);
+            out.total.Add(cluster.sim().Now() - start);
+          } else {
+            ++out.aborted;
+          }
+        });
+    const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+    while (!done && cluster.sim().Now() < deadline) {
+      cluster.RunFor(1 * sim::kMillisecond);
+    }
+  }
+  return out;
+}
+
+inline double Us(double v) { return v; }  // latencies are already in µs
+
+}  // namespace vsr::bench

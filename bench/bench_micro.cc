@@ -1,0 +1,116 @@
+// Micro-benchmarks of the hot substrate paths (google-benchmark): message
+// serialization, CRC32 framing, scheduler event throughput, lock manager
+// operations, and a whole simulated transaction end-to-end.
+#include <benchmark/benchmark.h>
+
+#include "client/cluster.h"
+#include "sim/scheduler.h"
+#include "tests/test_util.h"
+#include "txn/object_store.h"
+#include "vr/messages.h"
+#include "wire/buffer.h"
+
+namespace vsr {
+namespace {
+
+vr::CallMsg SampleCall() {
+  vr::CallMsg m;
+  m.group = 42;
+  m.viewid = {7, 3};
+  m.call_id = 99;
+  m.call_seq = (5ull << 32) | 17;
+  m.reply_to = 11;
+  m.sub_aid = {vr::Aid{1, {2, 3}, 4}, 2};
+  m.proc = "transfer";
+  m.args.assign(64, 0xab);
+  return m;
+}
+
+void BM_EncodeCallMsg(benchmark::State& state) {
+  const vr::CallMsg m = SampleCall();
+  for (auto _ : state) {
+    auto bytes = vr::EncodeMsg(m);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_EncodeCallMsg);
+
+void BM_DecodeCallMsg(benchmark::State& state) {
+  const auto bytes = vr::EncodeMsg(SampleCall());
+  for (auto _ : state) {
+    wire::Reader r(bytes);
+    auto m = vr::CallMsg::Decode(r);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_DecodeCallMsg);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::Crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.At(static_cast<sim::Time>(i), [&count] { ++count; });
+    }
+    sched.RunToQuiescence();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Simulation simulation(1);
+  txn::ObjectStore store(simulation);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    vr::Aid aid{1, {1, 1}, ++seq};
+    store.TryAcquire("x", aid, vr::LockMode::kWrite);
+    store.WriteTentative("x", {aid, 0}, "v");
+    store.Commit(aid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_SimulatedTransaction(benchmark::State& state) {
+  // End-to-end: one committed single-call transaction on a 3-replica group,
+  // measured in host time (how fast the simulator itself runs).
+  client::Cluster cluster(client::ClusterOptions{.seed = 77});
+  auto server = cluster.AddGroup("kv", 3);
+  auto client_g = cluster.AddGroup("client", 3);
+  test::RegisterKvProcs(cluster, server);
+  cluster.Start();
+  cluster.RunUntilStable();
+  for (auto _ : state) {
+    core::Cohort* primary = cluster.AnyPrimary(client_g);
+    bool done = false;
+    primary->SpawnTransaction(
+        [server](core::TxnHandle& h) -> sim::Task<bool> {
+          co_await h.Call(server, "put", std::string("k=v"));
+          co_return true;
+        },
+        [&done](vr::TxnOutcome) { done = true; });
+    while (!done) cluster.RunFor(1 * sim::kMillisecond);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedTransaction);
+
+}  // namespace
+}  // namespace vsr
+
+BENCHMARK_MAIN();

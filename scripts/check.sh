@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification pipeline: build, test, regenerate every experiment, run
+# the examples. This is what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== experiments =="
+for b in build/bench/*; do "$b"; done
+
+echo "== examples =="
+for e in build/examples/*; do
+  echo "--- $(basename "$e")"
+  "$e" > /dev/null && echo "    OK"
+done
+echo "ALL GREEN"

@@ -1,0 +1,28 @@
+#include "baseline/models.h"
+
+namespace vsr::baseline {
+namespace {
+
+double Binomial(std::size_t n, std::size_t k) {
+  double r = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+double KOfNAvailability(std::size_t n, std::size_t need,
+                        double replica_availability) {
+  double total = 0.0;
+  for (std::size_t up = need; up <= n; ++up) {
+    double p = Binomial(n, up);
+    for (std::size_t i = 0; i < up; ++i) p *= replica_availability;
+    for (std::size_t i = 0; i < n - up; ++i) p *= 1.0 - replica_availability;
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace vsr::baseline

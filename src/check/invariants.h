@@ -1,0 +1,76 @@
+// Protocol invariant checkers used by the property/stress test suites and
+// the availability benchmarks.
+//
+// What we check (and where the paper claims it):
+//   * At most one active primary per viewid — a view has exactly one primary
+//     (§2); several active primaries may coexist transiently, but only in
+//     DIFFERENT views, and only the latest can commit (§4.1).
+//   * Views contain a majority of the configuration (§2).
+//   * Committed transactions survive view changes: "events known to a
+//     majority of cohorts survive into subsequent views. Thus, events of
+//     committed transactions will survive view changes" (§2).
+//   * One-copy serializability (§1) — validated through commit accounting on
+//     read-modify-write counters (a lost update or phantom double-execution
+//     changes the final counter) and through replica-state digests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/cluster.h"
+
+namespace vsr::check {
+
+// Commit accounting for counter-increment workloads: each committed
+// transaction added exactly +1; unknown-outcome transactions may or may not
+// have applied. The final counter must land in [committed, committed+unknown].
+struct CommitAccounting {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t unknown = 0;
+
+  void Note(vr::TxnOutcome o) {
+    switch (o) {
+      case vr::TxnOutcome::kCommitted:
+        ++committed;
+        break;
+      case vr::TxnOutcome::kAborted:
+        ++aborted;
+        break;
+      default:
+        ++unknown;
+        break;
+    }
+  }
+
+  bool ValidateCounter(long long final_value, std::string* why = nullptr) const {
+    const long long lo = static_cast<long long>(committed);
+    const long long hi = static_cast<long long>(committed + unknown);
+    if (final_value < lo || final_value > hi) {
+      if (why != nullptr) {
+        *why = "final counter " + std::to_string(final_value) +
+               " outside [" + std::to_string(lo) + ", " + std::to_string(hi) +
+               "] (committed=" + std::to_string(committed) +
+               " unknown=" + std::to_string(unknown) + ")";
+      }
+      return false;
+    }
+    return true;
+  }
+};
+
+// A digest of a cohort's committed state (base versions only).
+std::string StateDigest(const txn::ObjectStore& store);
+
+// Structural invariants that must hold at any instant.
+std::vector<std::string> CheckInstant(client::Cluster& cluster,
+                                      vr::GroupId group);
+
+// Additional invariants that must hold once the group is quiescent (no
+// in-flight transactions, buffer drained): all cohorts active in the
+// primary's view hold identical committed state.
+std::vector<std::string> CheckQuiescent(client::Cluster& cluster,
+                                        vr::GroupId group);
+
+}  // namespace vsr::check

@@ -1,0 +1,124 @@
+// A one-copy-serializability checker for read-modify-write register
+// workloads.
+//
+// Convention: every transaction read the register's current value `prev` and
+// wrote a globally unique value `next`. Under one-copy serializability (§1)
+// the transactions that actually committed must form a single chain
+//
+//     initial -> v1 -> v2 -> ... -> final
+//
+// where each transaction's `prev` is exactly its predecessor's `next`.
+// A lost update (two committed transactions reading the same prev), a dirty
+// read (reading a value that never committed), or a phantom double-execution
+// all break the chain and are reported with a precise reason.
+//
+// Transactions whose outcome the client could not learn (kUnknown — e.g. the
+// coordinator's group view-changed during phase two, §3.4) may or may not
+// have committed; their edges are optional links the chain is allowed, but
+// not required, to traverse.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsr::check {
+
+class RegisterChainChecker {
+ public:
+  // Records one transaction's read/write pair.
+  void NoteCommitted(std::string prev, std::string next) {
+    committed_.emplace_back(std::move(prev), std::move(next));
+  }
+  void NoteUnknown(std::string prev, std::string next) {
+    unknown_.emplace_back(std::move(prev), std::move(next));
+  }
+
+  std::size_t committed() const { return committed_.size(); }
+  std::size_t unknown() const { return unknown_.size(); }
+
+  // Validates that some resolution of the unknown transactions yields a
+  // serial chain from `initial` to `final_value` containing every committed
+  // transaction. On failure returns false with a reason in *why.
+  bool Validate(const std::string& initial, const std::string& final_value,
+                std::string* why) const {
+    // Unique-write check across everything that could have applied.
+    std::set<std::string> all_writes;
+    for (const auto& [prev, next] : committed_) {
+      if (!all_writes.insert(next).second) {
+        if (why != nullptr) *why = "duplicate write of value '" + next + "'";
+        return false;
+      }
+    }
+    for (const auto& [prev, next] : unknown_) {
+      if (!all_writes.insert(next).second) {
+        if (why != nullptr) *why = "duplicate write of value '" + next + "'";
+        return false;
+      }
+    }
+    // Lost-update check among committed transactions.
+    std::map<std::string, std::string> committed_next;
+    for (const auto& [prev, next] : committed_) {
+      auto [it, inserted] = committed_next.emplace(prev, next);
+      if (!inserted) {
+        if (why != nullptr) {
+          *why = "lost update: '" + prev +
+                 "' read by two committed writers ('" + it->second +
+                 "' and '" + next + "')";
+        }
+        return false;
+      }
+    }
+    std::multimap<std::string, std::string> unknown_next;
+    for (const auto& [prev, next] : unknown_) unknown_next.emplace(prev, next);
+
+    // Depth-first search over the optional unknown edges for a chain that
+    // consumes every committed edge and ends at final_value.
+    std::set<std::string> used_unknown;
+    if (Walk(initial, final_value, 0, committed_next, unknown_next,
+             used_unknown)) {
+      return true;
+    }
+    if (why != nullptr) {
+      *why = "no serial chain from '" + initial + "' to '" + final_value +
+             "' covering all " + std::to_string(committed_.size()) +
+             " committed transactions (" + std::to_string(unknown_.size()) +
+             " unknown)";
+    }
+    return false;
+  }
+
+ private:
+  bool Walk(const std::string& cur, const std::string& final_value,
+            std::size_t committed_done,
+            const std::map<std::string, std::string>& committed_next,
+            const std::multimap<std::string, std::string>& unknown_next,
+            std::set<std::string>& used_unknown) const {
+    if (committed_done == committed_.size() && cur == final_value) return true;
+    // Committed edges are mandatory once reachable; prefer them (a committed
+    // reader of `cur` proves `cur`'s writer serialized right before it).
+    if (auto it = committed_next.find(cur); it != committed_next.end()) {
+      if (Walk(it->second, final_value, committed_done + 1, committed_next,
+               unknown_next, used_unknown)) {
+        return true;
+      }
+    }
+    auto [lo, hi] = unknown_next.equal_range(cur);
+    for (auto it = lo; it != hi; ++it) {
+      if (used_unknown.count(it->second) != 0) continue;
+      used_unknown.insert(it->second);
+      if (Walk(it->second, final_value, committed_done, committed_next,
+               unknown_next, used_unknown)) {
+        return true;
+      }
+      used_unknown.erase(it->second);
+    }
+    return false;
+  }
+
+  std::vector<std::pair<std::string, std::string>> committed_;
+  std::vector<std::pair<std::string, std::string>> unknown_;
+};
+
+}  // namespace vsr::check

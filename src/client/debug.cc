@@ -1,0 +1,36 @@
+#include "client/debug.h"
+
+#include <cstdio>
+
+namespace vsr::client {
+
+std::string CohortDebugString(const core::Cohort& cohort) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cohort %u: %-12s view %-8s primary=%u%s%s objs=%zu locks=%zu "
+      "tentatives=%zu txns(c/a/u)=%llu/%llu/%llu vc=%llu",
+      cohort.mid(), core::StatusName(cohort.status()),
+      cohort.cur_viewid().ToString().c_str(), cohort.cur_view().primary,
+      cohort.up_to_date() ? " utd" : " STALE",
+      cohort.IsActivePrimary() ? " *PRIMARY*" : "",
+      cohort.objects().object_count(), cohort.objects().lock_count(),
+      cohort.objects().tentative_count(),
+      static_cast<unsigned long long>(cohort.stats().txns_committed),
+      static_cast<unsigned long long>(cohort.stats().txns_aborted),
+      static_cast<unsigned long long>(cohort.stats().txns_unknown),
+      static_cast<unsigned long long>(cohort.stats().view_changes_completed));
+  return buf;
+}
+
+std::string GroupDebugString(Cluster& cluster, vr::GroupId group) {
+  std::string out =
+      "group " + std::to_string(group) + " (" + cluster.GroupName(group) +
+      "):\n";
+  for (const core::Cohort* c : cluster.Cohorts(group)) {
+    out += "  " + CohortDebugString(*c) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vsr::client

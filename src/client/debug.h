@@ -1,0 +1,18 @@
+// Human-readable state dumps for debugging, examples, and operational
+// tooling: one line per cohort, one block per group.
+#pragma once
+
+#include <string>
+
+#include "client/cluster.h"
+#include "core/cohort.h"
+
+namespace vsr::client {
+
+// "cohort 3: active view v4.2 primary=2 utd applied=17 objs=5 locks=1"
+std::string CohortDebugString(const core::Cohort& cohort);
+
+// Multi-line description of one group's cohorts.
+std::string GroupDebugString(Cluster& cluster, vr::GroupId group);
+
+}  // namespace vsr::client

@@ -1,0 +1,422 @@
+// Cohort lifecycle, frame dispatch, failure detection, and query answering.
+#include "core/cohort.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace vsr::core {
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kActive:
+      return "active";
+    case Status::kViewManager:
+      return "view-manager";
+    case Status::kUnderling:
+      return "underling";
+    case Status::kCrashed:
+      return "crashed";
+  }
+  return "?";
+}
+
+Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
+               Directory& directory, storage::StableStore& stable,
+               GroupId group, Mid self, std::vector<Mid> configuration,
+               CohortOptions options)
+    : sim_(simulation),
+      net_(network),
+      directory_(directory),
+      stable_(stable),
+      options_(options),
+      group_(group),
+      self_(self),
+      configuration_(std::move(configuration)),
+      store_(simulation),
+      buffer_(
+          simulation, options.buffer,
+          [this](Mid to, const vr::BufferBatchMsg& b) { SendMsg(to, b); },
+          [this] {
+            // §3 footnote 1: an abandoned force means a communication
+            // failure — switch to running the view change algorithm.
+            if (status_ == Status::kActive) BecomeViewManager();
+          }),
+      reply_waiters_(simulation.scheduler()),
+      prepare_waiters_(simulation.scheduler()),
+      commit_waiters_(simulation.scheduler()),
+      query_waiters_(simulation.scheduler()),
+      probe_waiters_(simulation.scheduler()),
+      bool_waiters_(simulation.scheduler()),
+      tasks_(simulation.scheduler()) {
+  net_.Register(self_, this);
+  // Identity is persisted at creation (§4.2: "mymid, configuration, and
+  // mygroupid ... are stored on stable storage when the cohort is first
+  // created"). These writes are off the critical path.
+  wire::Writer w;
+  w.U64(group_);
+  w.U32(self_);
+  w.Vector(configuration_, [&](Mid m) { w.U32(m); });
+  stable_.ForceWrite("identity/" + std::to_string(self_), w.Take(), nullptr);
+}
+
+Cohort::~Cohort() {
+  // Tear down exactly like a crash so no timer or coroutine outlives us.
+  if (status_ != Status::kCrashed) Crash();
+}
+
+void Cohort::Trace(const char* fmt, ...) {
+  auto& tracer = sim_.tracer();
+  if (!tracer.Enabled(sim::TraceLevel::kDebug)) return;
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  char tag[64];
+  std::snprintf(tag, sizeof(tag), "cohort/%u(g%llu,%s)", self_,
+                static_cast<unsigned long long>(group_),
+                StatusName(status_));
+  tracer.Log(sim_.Now(), sim::TraceLevel::kDebug, tag, "%s", buf);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void Cohort::Start() {
+  status_ = Status::kUnderling;
+  up_to_date_ = true;  // a fresh cohort's (empty) gstate is meaningful
+  net_.SetNodeUp(self_, true);
+  SendPings();  // self-arms the periodic ping chain
+  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+                                     [this] { CheckLiveness(); });
+  ArmUnderlingTimer();
+  ArmQueryTimer();
+}
+
+void Cohort::ResetVolatileState() {
+  buffer_.Stop();
+  tasks_.DestroyAll();
+  store_.Clear();
+  outcomes_.Clear();
+  history_.Clear();
+  cur_view_ = View{};
+  cur_viewid_ = ViewId{};
+  max_viewid_ = ViewId{};
+  accepts_.clear();
+  pending_records_.clear();
+  applied_ts_ = 0;
+  adopting_ = false;
+  call_dedup_.clear();
+  prepared_.clear();
+  querying_.clear();
+  txn_activity_.clear();
+  dead_subs_by_txn_.clear();
+  external_txns_.clear();
+  committing_external_.clear();
+  active_txns_.clear();
+  cache_.clear();
+  last_heard_.clear();
+  ++start_view_epoch_;  // invalidates in-flight stable-storage callbacks
+  auto& sched = sim_.scheduler();
+  sched.Cancel(invite_timer_);
+  sched.Cancel(underling_timer_);
+  sched.Cancel(ping_timer_);
+  sched.Cancel(fd_timer_);
+  sched.Cancel(query_timer_);
+  sched.Cancel(deferred_vc_timer_);
+  invite_timer_ = underling_timer_ = ping_timer_ = fd_timer_ = query_timer_ =
+      deferred_vc_timer_ = sim::kNoTimer;
+}
+
+void Cohort::Crash() {
+  Trace("crash");
+  ResetVolatileState();
+  status_ = Status::kCrashed;
+  net_.SetNodeUp(self_, false);
+}
+
+void Cohort::Recover() {
+  Trace("recover");
+  net_.SetNodeUp(self_, true);
+  // Volatile state is gone; cur_viewid survives on stable storage (§4.2).
+  up_to_date_ = false;
+  cur_viewid_ = ViewId{};
+  if (auto bytes = stable_.Read("viewid/" + std::to_string(self_))) {
+    wire::Reader r(*bytes);
+    ViewId vid = ViewId::Decode(r);
+    if (r.ok()) cur_viewid_ = vid;
+  }
+  max_viewid_ = cur_viewid_;
+  status_ = Status::kUnderling;  // alive again; the view change runs next
+  SendPings();  // self-arms the periodic ping chain
+  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+                                     [this] { CheckLiveness(); });
+  ArmQueryTimer();
+  // "if it has just recovered from a crash, it initiates a view change."
+  BecomeViewManager();
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection (§4: "Cohorts send periodic 'I'm Alive' messages")
+// ---------------------------------------------------------------------------
+
+void Cohort::SendPings() {
+  for (Mid peer : configuration_) {
+    if (peer == self_) continue;
+    SendMsg(peer, vr::PingMsg{group_, self_});
+  }
+  ping_timer_ = sim_.scheduler().After(options_.ping_interval,
+                                       [this] { SendPings(); });
+}
+
+void Cohort::NoteAlive(Mid peer) { last_heard_[peer] = sim_.Now(); }
+
+void Cohort::CheckLiveness() {
+  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+                                     [this] { CheckLiveness(); });
+  if (status_ != Status::kActive) return;
+
+  const sim::Time now = sim_.Now();
+
+  std::vector<Mid> alive;
+  for (Mid m : configuration_) {
+    if (m == self_) {
+      alive.push_back(m);
+      continue;
+    }
+    auto it = last_heard_.find(m);
+    if (it != last_heard_.end() && now - it->second <= options_.liveness_timeout) {
+      alive.push_back(m);
+    }
+  }
+
+  bool view_member_dead = false;
+  for (Mid m : cur_view_.Members()) {
+    if (std::find(alive.begin(), alive.end(), m) == alive.end()) {
+      view_member_dead = true;
+    }
+  }
+  bool outsider_alive = false;
+  for (Mid m : alive) {
+    if (!cur_view_.Contains(m)) outsider_alive = true;
+  }
+  if (!view_member_dead && !outsider_alive) {
+    // Condition cleared (e.g. a ping was merely delayed): stand down.
+    sim_.scheduler().Cancel(deferred_vc_timer_);
+    deferred_vc_timer_ = sim::kNoTimer;
+    return;
+  }
+
+  // §4.1 optimization: an active primary that still holds a sub-majority may
+  // adjust its view unilaterally instead of running the full protocol.
+  if (options_.unilateral_view_tweaks && IsActivePrimary()) {
+    MaybeUnilateralTweak(alive);
+    return;
+  }
+
+  // §4.1 policy to limit concurrent managers: cohort k defers in proportion
+  // to its configuration rank; the highest-priority live cohort moves first.
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < configuration_.size(); ++i) {
+    if (configuration_[i] == self_) rank = i;
+  }
+  // The current primary has top priority if it is the one reacting.
+  if (cur_view_.primary == self_) rank = 0;
+  if (rank == 0) {
+    BecomeViewManager();
+    return;
+  }
+  // Defer: if a higher-priority cohort handles it, we will receive its
+  // invitation (and leave the active state) before this timer fires.
+  if (deferred_vc_timer_ != sim::kNoTimer) return;  // already counting down
+  const ViewId armed_view = cur_viewid_;
+  deferred_vc_timer_ = sim_.scheduler().After(
+      static_cast<sim::Duration>(rank) * options_.manager_stagger,
+      [this, armed_view] {
+        deferred_vc_timer_ = sim::kNoTimer;
+        if (status_ == Status::kActive && cur_viewid_ == armed_view) {
+          BecomeViewManager();
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Frame dispatch
+// ---------------------------------------------------------------------------
+
+void Cohort::OnFrame(const net::Frame& frame) {
+  if (status_ == Status::kCrashed) return;
+  const bool from_peer =
+      std::find(configuration_.begin(), configuration_.end(), frame.from) !=
+      configuration_.end();
+  if (from_peer) NoteAlive(frame.from);
+  // Intra-group protocol messages (view change, buffer replication) are
+  // only meaningful from the group's own cohorts; the configuration is
+  // fixed at creation (§2), so anything else is a stray or malformed frame.
+  switch (static_cast<vr::MsgType>(frame.type)) {
+    case vr::MsgType::kInvite:
+    case vr::MsgType::kAccept:
+    case vr::MsgType::kInitView:
+    case vr::MsgType::kBufferBatch:
+    case vr::MsgType::kBufferAck:
+      if (!from_peer) return;
+      break;
+    default:
+      break;
+  }
+  wire::Reader r(frame.payload);
+  switch (static_cast<vr::MsgType>(frame.type)) {
+    case vr::MsgType::kPing: {
+      (void)vr::PingMsg::Decode(r);
+      break;  // liveness noted above
+    }
+    case vr::MsgType::kInvite: {
+      auto m = vr::InviteMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnInvite(m);
+      break;
+    }
+    case vr::MsgType::kAccept: {
+      auto m = vr::AcceptMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnAccept(m);
+      break;
+    }
+    case vr::MsgType::kInitView: {
+      auto m = vr::InitViewMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnInitView(m);
+      break;
+    }
+    case vr::MsgType::kBufferBatch: {
+      auto m = vr::BufferBatchMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnBufferBatch(m);
+      break;
+    }
+    case vr::MsgType::kBufferAck: {
+      auto m = vr::BufferAckMsg::Decode(r);
+      if (r.ok() && m.group == group_ && IsActivePrimary()) buffer_.OnAck(m);
+      break;
+    }
+    case vr::MsgType::kCall: {
+      auto m = vr::CallMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnCall(m);
+      break;
+    }
+    case vr::MsgType::kReply: {
+      auto m = vr::ReplyMsg::Decode(r);
+      if (r.ok()) reply_waiters_.Fulfill(m.call_id, std::move(m));
+      break;
+    }
+    case vr::MsgType::kPrepare: {
+      auto m = vr::PrepareMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnPrepare(m);
+      break;
+    }
+    case vr::MsgType::kPrepareReply: {
+      auto m = vr::PrepareReplyMsg::Decode(r);
+      if (!r.ok()) break;
+      auto it = prepare_corr_.find({m.aid, m.from_group});
+      if (it != prepare_corr_.end()) {
+        prepare_waiters_.Fulfill(it->second, std::move(m));
+      }
+      break;
+    }
+    case vr::MsgType::kCommit: {
+      auto m = vr::CommitMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnCommit(m);
+      break;
+    }
+    case vr::MsgType::kCommitDone: {
+      auto m = vr::CommitDoneMsg::Decode(r);
+      if (!r.ok()) break;
+      auto it = commit_corr_.find({m.aid, m.from_group});
+      if (it != commit_corr_.end()) {
+        commit_waiters_.Fulfill(it->second, std::move(m));
+      }
+      break;
+    }
+    case vr::MsgType::kAbort: {
+      auto m = vr::AbortMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnAbort(m);
+      break;
+    }
+    case vr::MsgType::kAbortSub: {
+      auto m = vr::AbortSubMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnAbortSub(m);
+      break;
+    }
+    case vr::MsgType::kQuery: {
+      auto m = vr::QueryMsg::Decode(r);
+      if (r.ok()) AnswerQuery(m);
+      break;
+    }
+    case vr::MsgType::kQueryReply: {
+      auto m = vr::QueryReplyMsg::Decode(r);
+      if (!r.ok()) break;
+      auto it = query_corr_.find(m.aid);
+      if (it != query_corr_.end()) {
+        query_waiters_.Fulfill(it->second, std::move(m));
+      }
+      break;
+    }
+    case vr::MsgType::kProbe: {
+      auto m = vr::ProbeMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnProbe(m);
+      break;
+    }
+    case vr::MsgType::kProbeReply: {
+      auto m = vr::ProbeReplyMsg::Decode(r);
+      if (r.ok()) OnProbeReply(m);
+      break;
+    }
+    case vr::MsgType::kBeginTxn: {
+      auto m = vr::BeginTxnMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnBeginTxn(m);
+      break;
+    }
+    case vr::MsgType::kBeginTxnReply:
+    case vr::MsgType::kCommitReqReply: {
+      // Consumed by client::UnreplicatedClient, not by cohorts.
+      break;
+    }
+    case vr::MsgType::kCommitReq: {
+      auto m = vr::CommitReqMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnCommitReq(m);
+      break;
+    }
+    case vr::MsgType::kAbortReq: {
+      auto m = vr::AbortReqMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnAbortReq(m);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries (§3.4)
+// ---------------------------------------------------------------------------
+
+TxnOutcome Cohort::LocalOutcome(Aid aid) const {
+  TxnOutcome o = outcomes_.Lookup(aid);
+  if (o != TxnOutcome::kUnknown) return o;
+  if (aid.coordinator_group == group_) {
+    if (active_txns_.count(aid) != 0) return TxnOutcome::kActive;
+    // A coordinator view change aborts the group's in-flight transactions
+    // (§3.1): if our current view is newer than the transaction's and we
+    // have no commit record for it, it is dead.
+    if (IsActivePrimary() && up_to_date_ && cur_viewid_ > aid.view) {
+      return TxnOutcome::kAborted;
+    }
+  }
+  return TxnOutcome::kUnknown;
+}
+
+void Cohort::AnswerQuery(const vr::QueryMsg& m) {
+  // "we allow any cohort to respond to a query whenever it knows the
+  //  answer" — backups answer from their outcome tables too.
+  vr::QueryReplyMsg reply;
+  reply.aid = m.aid;
+  reply.outcome = LocalOutcome(m.aid);
+  SendMsg(m.reply_to, reply);
+}
+
+}  // namespace vsr::core

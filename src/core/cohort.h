@@ -1,0 +1,510 @@
+// The cohort: one replica of a module, the unit of the paper's algorithm.
+//
+// A cohort plays every role the paper describes:
+//   * backup        — applies event records streamed from the primary (§3.3)
+//   * server primary — executes remote calls and acts as a two-phase-commit
+//                      participant (Fig. 3)
+//   * client primary — runs transactions and acts as coordinator (Fig. 2)
+//   * view manager / underling — the view change algorithm (Fig. 5, §4)
+//
+// Implementation is split by concern:
+//   cohort.cc        — lifecycle, frame dispatch, failure detection, queries
+//   view_change.cc   — Fig. 5: invitations, acceptances, view formation
+//   txn_server.cc    — Fig. 3: calls, prepare/commit/abort, record apply
+//   txn_coord.cc     — Fig. 2: transaction driver, remote calls, 2PC,
+//                      the coordinator-server protocol (§3.5)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/directory.h"
+#include "core/options.h"
+#include "core/wait_table.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "storage/stable_store.h"
+#include "txn/object_store.h"
+#include "txn/outcomes.h"
+#include "vr/comm_buffer.h"
+#include "vr/events.h"
+#include "vr/history.h"
+#include "vr/messages.h"
+#include "vr/types.h"
+
+namespace vsr::core {
+
+using vr::Aid;
+using vr::GroupId;
+using vr::Mid;
+using vr::Pset;
+using vr::SubAid;
+using vr::TxnOutcome;
+using vr::View;
+using vr::ViewId;
+using vr::Viewstamp;
+
+// The cohort status (Fig. 1/4), plus the crashed pseudo-state.
+enum class Status : std::uint8_t {
+  kActive = 0,
+  kViewManager = 1,
+  kUnderling = 2,
+  kCrashed = 3,
+};
+
+const char* StatusName(Status s);
+
+// Thrown inside transaction bodies / procedures when the transaction cannot
+// continue (no reply, lock timeout, application failure). The driver turns
+// it into an abort.
+class TxnError : public std::exception {
+ public:
+  explicit TxnError(std::string reason) : reason_(std::move(reason)) {}
+  const char* what() const noexcept override { return reason_.c_str(); }
+
+ private:
+  std::string reason_;
+};
+
+struct CallResult {
+  bool ok = false;
+  std::vector<std::uint8_t> result;
+  std::string error;
+};
+
+class Cohort;
+
+// Server-side context handed to a registered procedure while it executes at
+// the primary (Fig. 3). Read/Write acquire strict-2PL locks (possibly
+// suspending); Call makes a nested remote call on behalf of the same
+// transaction and subaction.
+class ProcContext {
+ public:
+  ProcContext(Cohort& cohort, SubAid sub_aid,
+              std::vector<std::uint8_t> args);
+  ProcContext(const ProcContext&) = delete;
+  ProcContext& operator=(const ProcContext&) = delete;
+
+  const std::vector<std::uint8_t>& args() const { return args_; }
+  std::string ArgsAsString() const {
+    return std::string(args_.begin(), args_.end());
+  }
+  SubAid sub_aid() const { return sub_aid_; }
+  Aid aid() const { return sub_aid_.aid; }
+
+  // Reads `uid` under a read lock. nullopt = object does not exist.
+  // Throws TxnError on lock timeout.
+  sim::Task<std::optional<std::string>> Read(std::string uid);
+
+  // Reads `uid` under a WRITE lock — the read-for-update idiom. A procedure
+  // that reads a value it will subsequently write must use this: concurrent
+  // read-then-upgrade transactions deadlock pairwise (each holds a shared
+  // lock the other needs exclusively) and would all time out.
+  sim::Task<std::optional<std::string>> ReadForUpdate(std::string uid);
+
+  // Writes `uid` under a write lock (creating the object if absent).
+  // Throws TxnError on lock timeout.
+  sim::Task<void> Write(std::string uid, std::string value);
+
+  // Nested remote call to another group (§3; runs under the same subaction,
+  // so an aborted attempt discards nested effects too). Throws TxnError if
+  // the nested call gets no reply or fails.
+  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+                                            std::vector<std::uint8_t> args);
+
+  // The accumulated pset for this call (own completed-call entry is added by
+  // the engine after the procedure returns).
+  const Pset& pset() const { return pset_; }
+
+ private:
+  friend class Cohort;
+  Cohort& cohort_;
+  SubAid sub_aid_;
+  std::vector<std::uint8_t> args_;
+  Pset pset_;  // entries contributed by nested calls
+  std::vector<std::uint32_t> dead_subs_;  // from the incoming call (§3.6)
+  // Effects in acquisition order: uid -> mode (write dominates).
+  std::vector<std::pair<std::string, vr::LockMode>> effect_order_;
+  std::map<std::string, vr::LockMode> effect_mode_;
+  std::vector<GroupId> nested_groups_;
+
+  void NoteEffect(const std::string& uid, vr::LockMode mode);
+};
+
+using ProcFn =
+    std::function<sim::Task<std::vector<std::uint8_t>>(ProcContext&)>;
+
+// Client-side transaction handle (Fig. 2): issued to a transaction body
+// running at the client group's primary.
+class TxnHandle {
+ public:
+  Aid aid() const { return aid_; }
+  bool doomed() const { return doomed_; }
+  const Pset& pset() const { return pset_; }
+  const std::string& doom_reason() const { return doom_reason_; }
+
+  // Makes a remote call; merges the reply's pset. Throws TxnError when the
+  // transaction is doomed (no-reply, failure) — with nested_call_retry the
+  // attempt is first retried as a fresh subaction (§3.6).
+  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+                                            std::vector<std::uint8_t> args);
+  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+                                            const std::string& args) {
+    return Call(group, std::move(proc),
+                std::vector<std::uint8_t>(args.begin(), args.end()));
+  }
+
+ private:
+  friend class Cohort;
+  TxnHandle(Cohort& cohort, Aid aid) : cohort_(&cohort), aid_(aid) {}
+  Cohort* cohort_;
+  Aid aid_;
+  Pset pset_;
+  // Every group an attempt was sent to — abort notifications must reach
+  // groups whose replies never arrived (they may hold locks).
+  std::vector<GroupId> touched_groups_;
+  // Subactions aborted by retries (§3.6); travels in every later call.
+  std::vector<std::uint32_t> dead_subs_;
+  bool doomed_ = false;
+  std::string doom_reason_;
+  std::uint32_t next_sub_ = 1;  // subaction numbers for retried attempts
+};
+
+// Transaction body: runs at the client primary, returns true to request
+// commit, false (or throws TxnError) to abort.
+using TxnBody = std::function<sim::Task<bool>(TxnHandle&)>;
+
+// Aggregate counters consumed by tests and the bench harness.
+struct CohortStats {
+  std::uint64_t calls_executed = 0;
+  std::uint64_t calls_rejected_wrong_view = 0;
+  std::uint64_t duplicate_calls_suppressed = 0;
+  std::uint64_t prepares_ok = 0;
+  std::uint64_t prepares_refused = 0;
+  std::uint64_t commits_applied = 0;
+  std::uint64_t aborts_applied = 0;
+  std::uint64_t txns_committed = 0;  // as coordinator
+  std::uint64_t txns_aborted = 0;    // as coordinator
+  std::uint64_t txns_unknown = 0;    // coordinator lost its group mid-commit
+  std::uint64_t subaction_retries = 0;
+  std::uint64_t view_changes_started = 0;   // became manager
+  std::uint64_t view_changes_completed = 0; // entered a new active view
+  std::uint64_t views_formed_as_manager = 0;
+  std::uint64_t view_formation_failures = 0;
+  std::uint64_t unilateral_tweaks = 0;
+  std::uint64_t queries_sent = 0;
+  std::uint64_t queries_resolved = 0;
+  std::uint64_t records_applied_as_backup = 0;
+  // Simulated-time instants of the last view-change start/finish, for
+  // latency measurements (bench E4).
+  sim::Time last_view_change_started = 0;
+  sim::Time last_view_change_completed = 0;
+};
+
+class Cohort : public net::FrameHandler {
+ public:
+  Cohort(sim::Simulation& simulation, net::Network& network,
+         Directory& directory, storage::StableStore& stable, GroupId group,
+         Mid self, std::vector<Mid> configuration, CohortOptions options);
+  ~Cohort() override;
+
+  // -- Lifecycle ---------------------------------------------------------
+
+  // Boots a freshly created cohort (empty, up-to-date state). Cohorts start
+  // as underlings; the staggered underling timeout elects the first manager.
+  void Start();
+
+  // Fail-stop crash: all volatile state is lost; only the stable store
+  // (configuration identity + cur_viewid) survives.
+  void Crash();
+
+  // Recovery from a crash: gstate is gone (up_to_date = false); the cohort
+  // immediately initiates a view change (§4).
+  void Recover();
+
+  // -- Application API ---------------------------------------------------
+
+  void RegisterProc(std::string name, ProcFn fn);
+
+  // Runs a transaction at this cohort (must be the active primary of the
+  // client group; otherwise completes immediately with kAborted).
+  // `on_done` receives the outcome: kCommitted, kAborted, or kUnknown when
+  // the coordinator could not learn the decision's fate (view change during
+  // phase two of its own group).
+  void SpawnTransaction(TxnBody body,
+                        std::function<void(TxnOutcome)> on_done = nullptr);
+
+  // §3.5: begin/commit a transaction on behalf of an unreplicated client
+  // (the coordinator-server role). Exposed as messages (kBeginTxn etc.) and
+  // used by client::UnreplicatedClient.
+
+  // -- Introspection -----------------------------------------------------
+
+  Mid mid() const { return self_; }
+  GroupId group() const { return group_; }
+  Status status() const { return status_; }
+  bool IsActivePrimary() const {
+    return status_ == Status::kActive && cur_view_.primary == self_;
+  }
+  bool IsActiveBackup() const {
+    return status_ == Status::kActive && cur_view_.primary != self_;
+  }
+  ViewId cur_viewid() const { return cur_viewid_; }
+  const View& cur_view() const { return cur_view_; }
+  ViewId max_viewid() const { return max_viewid_; }
+  bool up_to_date() const { return up_to_date_; }
+  const vr::History& history() const { return history_; }
+  const txn::ObjectStore& objects() const { return store_; }
+  const txn::OutcomeTable& outcomes() const { return outcomes_; }
+  const std::vector<Mid>& configuration() const { return configuration_; }
+  const CohortStats& stats() const { return stats_; }
+  const vr::CommBuffer& buffer() const { return buffer_; }
+  const CohortOptions& options() const { return options_; }
+  CohortOptions& mutable_options() { return options_; }
+
+  // Hooks for tests / harnesses.
+  std::function<void(const View&, ViewId)> on_view_started;
+  std::function<void()> on_became_primary;
+
+  // net::FrameHandler
+  void OnFrame(const net::Frame& frame) override;
+
+ private:
+  friend class ProcContext;
+  friend class TxnHandle;
+
+  // ---- generic helpers (cohort.cc) ----
+  template <typename M>
+  void SendMsg(Mid to, const M& m) {
+    net_.Send(self_, to, static_cast<std::uint16_t>(M::kType),
+              vr::EncodeMsg(m));
+  }
+  void Trace(const char* fmt, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 2, 3)))
+#endif
+      ;
+  std::uint64_t NextCorrId() { return next_corr_id_++; }
+  std::uint64_t NextCallSeq() {
+    return (static_cast<std::uint64_t>(self_) << 32) | next_call_seq_++;
+  }
+  void NoteAlive(Mid peer);
+  void CheckLiveness();
+  void SendPings();
+  void AnswerQuery(const vr::QueryMsg& m);
+  TxnOutcome LocalOutcome(Aid aid) const;
+  void ResetVolatileState();
+
+  // ---- view change (view_change.cc) ----
+  void BecomeViewManager();
+  void MakeInvitations();
+  void DoAccept(ViewId vid, Mid inviter);
+  void OnInvite(const vr::InviteMsg& m);
+  void OnAccept(const vr::AcceptMsg& m);
+  void OnInitView(const vr::InitViewMsg& m);
+  void TryFormView();
+  void StartViewAsPrimary(View v, ViewId vid);
+  void FinishStartViewAsPrimary(View v, ViewId vid);
+  void AdoptNewView(const vr::EventRecord& newview, ViewId vid,
+                    std::uint64_t newview_ts);
+  void ArmUnderlingTimer();
+  void EnterActive();
+  void MaybeUnilateralTweak(const std::vector<Mid>& alive);
+
+  // ---- backup record application (txn_server.cc) ----
+  void OnBufferBatch(const vr::BufferBatchMsg& m);
+  void ApplyRecord(const vr::EventRecord& rec);
+  void SendBufferAck();
+
+  // ---- server role (txn_server.cc) ----
+  void OnCall(const vr::CallMsg& m);
+  sim::Task<void> RunCall(vr::CallMsg m);
+  void OnPrepare(const vr::PrepareMsg& m);
+  sim::Task<void> RunPrepare(vr::PrepareMsg m);
+  void OnCommit(const vr::CommitMsg& m);
+  sim::Task<void> RunCommit(vr::CommitMsg m);
+  void OnAbort(const vr::AbortMsg& m);
+  void OnAbortSub(const vr::AbortSubMsg& m);
+  void LocalAbortTxn(Aid aid);
+  void ArmQueryTimer();
+  void QueryBlockedTxns();
+  sim::Task<void> ResolveBlockedTxn(Aid aid);
+  void CommitLocally(Aid aid);
+  std::vector<std::uint8_t> SnapshotGstate() const;
+  void RestoreGstate(const std::vector<std::uint8_t>& bytes);
+  // Awaitable force-to (false = abandoned / not primary).
+  sim::Task<bool> Force(Viewstamp vs);
+  // Awaitable strict-2PL lock acquisition (false = timeout/abort).
+  sim::Task<bool> AcquireLock(std::string uid, Aid aid, vr::LockMode mode);
+  // Adds a record to the buffer and mirrors its outcome bookkeeping (the
+  // primary-side counterpart of ApplyRecord).
+  Viewstamp AddRecord(vr::EventRecord rec);
+
+  // ---- client / coordinator role (txn_coord.cc) ----
+  sim::Task<void> TxnDriver(Aid aid, TxnBody body,
+                            std::function<void(TxnOutcome)> on_done);
+  sim::Task<std::vector<std::uint8_t>> ClientCall(TxnHandle& h, GroupId group,
+                                                  std::string proc,
+                                                  std::vector<std::uint8_t> args);
+  sim::Task<std::vector<std::uint8_t>> NestedCall(ProcContext& ctx,
+                                                  GroupId group,
+                                                  std::string proc,
+                                                  std::vector<std::uint8_t> args);
+  // One call attempt against (possibly changing) primaries. Does NOT retry
+  // across no-reply — that is subaction policy. Returns nullopt on no reply.
+  sim::Task<std::optional<vr::ReplyMsg>> CallAttempt(
+      SubAid sub_aid, GroupId group, std::string proc,
+      std::vector<std::uint8_t> args, std::vector<std::uint32_t> dead_subs);
+  sim::Task<TxnOutcome> RunTwoPhaseCommit(Aid aid, Pset pset);
+  struct PrepareJoin;
+  sim::Task<void> PrepareOne(Aid aid, Pset pset, GroupId g,
+                             std::shared_ptr<PrepareJoin> join);
+  sim::Task<void> FinishCommitPhase(Aid aid, std::vector<GroupId> plist);
+  struct CommitJoin;
+  sim::Task<void> CommitOne(Aid aid, GroupId g,
+                            std::shared_ptr<CommitJoin> join);
+  sim::Task<void> AbortEverywhere(Aid aid, Pset pset,
+                                  std::vector<GroupId> extra_groups = {});
+  void OnBeginTxn(const vr::BeginTxnMsg& m);
+  void OnCommitReq(const vr::CommitReqMsg& m);
+  sim::Task<void> RunCommitReq(vr::CommitReqMsg m);
+  void OnAbortReq(const vr::AbortReqMsg& m);
+
+  // Cache of other groups' primaries (§3: "It stores this information in a
+  // local cache").
+  struct CacheEntry {
+    ViewId viewid;
+    View view;
+  };
+  std::optional<CacheEntry> CacheGet(GroupId g) const;
+  void CacheUpdate(GroupId g, ViewId vid, const View& v);
+  void CacheInvalidate(GroupId g);
+  sim::Task<std::optional<CacheEntry>> CacheLookup(GroupId g);
+  void OnProbe(const vr::ProbeMsg& m);
+  void OnProbeReply(const vr::ProbeReplyMsg& m);
+
+  // ---- wiring ----
+  sim::Simulation& sim_;
+  net::Network& net_;
+  Directory& directory_;
+  storage::StableStore& stable_;
+  CohortOptions options_;
+
+  // ---- identity (stable, §4.2) ----
+  const GroupId group_;
+  const Mid self_;
+  const std::vector<Mid> configuration_;
+
+  // ---- cohort state (Fig. 4) ----
+  Status status_ = Status::kCrashed;
+  bool up_to_date_ = true;
+  ViewId cur_viewid_;
+  View cur_view_;
+  ViewId max_viewid_;
+  vr::History history_;
+  txn::ObjectStore store_;
+  txn::OutcomeTable outcomes_;
+  vr::CommBuffer buffer_;
+
+  // ---- view change bookkeeping ----
+  struct AcceptRecord {
+    Mid from;
+    bool crashed;
+    Viewstamp last_vs;
+    bool was_primary;
+    ViewId crash_viewid;
+  };
+  std::map<Mid, AcceptRecord> accepts_;  // responses to our invitation
+  sim::TimerId invite_timer_ = sim::kNoTimer;
+  sim::TimerId underling_timer_ = sim::kNoTimer;
+  std::uint64_t start_view_epoch_ = 0;  // cancels stale FinishStartView
+  sim::Time view_change_began_ = 0;
+
+  // ---- backup replication state ----
+  std::uint64_t applied_ts_ = 0;  // highest contiguously applied record ts
+  bool adopting_ = false;         // newview adoption in flight (stable write)
+  // Lazy-apply mode (§3.3 trade-off): records held here until promotion.
+  std::vector<vr::EventRecord> pending_records_;
+
+  // ---- failure detection ----
+  std::map<Mid, sim::Time> last_heard_;
+  sim::TimerId ping_timer_ = sim::kNoTimer;
+  sim::TimerId fd_timer_ = sim::kNoTimer;
+  // Armed when a lower-priority cohort defers a needed view change to its
+  // higher-priority peers (§4.1 ordering policy).
+  sim::TimerId deferred_vc_timer_ = sim::kNoTimer;
+
+  // ---- server role ----
+  std::map<std::string, ProcFn> procs_;
+  struct DedupEntry {
+    bool completed = false;
+    Aid aid;             // for pruning when the transaction ends
+    vr::ReplyMsg reply;  // valid when completed
+    // While the call is running, track the newest retransmission so the
+    // eventual reply answers a correlation id the client still waits on
+    // (a lock wait can outlast the client's per-transmission timeout).
+    std::uint64_t latest_call_id = 0;
+    Mid latest_reply_to = 0;
+  };
+  // Keyed by call_seq. Completed entries are REPLICATED state: they travel
+  // in completed-call records and the gstate snapshot, so any primary can
+  // re-answer a retransmitted call instead of re-executing it (§3.1's
+  // "connection information"). Pruned when the transaction ends.
+  std::map<std::uint64_t, DedupEntry> call_dedup_;
+  void PruneDedup(Aid aid);
+  // Subactions known dead (§3.6): a dead attempt still running when its
+  // abort arrives must not record its effects at completion.
+  std::map<Aid, std::set<std::uint32_t>> dead_subs_by_txn_;
+  std::set<Aid> prepared_;                          // blocked-txn query targets
+  std::set<Aid> querying_;                          // resolution in flight
+  // Last time each lock-holding transaction showed activity here; feeds the
+  // idle-transaction janitor (§3.4 queries).
+  std::map<Aid, sim::Time> txn_activity_;
+  sim::TimerId query_timer_ = sim::kNoTimer;
+
+  // ---- coordinator-server role (§3.5) ----
+  // Externally driven transactions (unreplicated clients), with begin time
+  // for the unilateral-abort sweep.
+  std::map<Aid, sim::Time> external_txns_;
+  std::set<Aid> committing_external_;  // commit-req in flight (dedup)
+  sim::Task<void> RunAbortReq(vr::AbortReqMsg m);
+  void SweepExternalTxns();
+
+  // ---- client role ----
+  std::uint64_t next_txn_seq_ = 1;
+  std::uint64_t next_corr_id_ = 1;
+  std::uint32_t next_call_seq_ = 1;
+  std::set<Aid> active_txns_;  // transactions this cohort coordinates
+  std::map<GroupId, CacheEntry> cache_;
+  WaitTable<vr::ReplyMsg> reply_waiters_;
+  WaitTable<vr::PrepareReplyMsg> prepare_waiters_;
+  WaitTable<vr::CommitDoneMsg> commit_waiters_;
+  WaitTable<vr::QueryReplyMsg> query_waiters_;
+  WaitTable<vr::ProbeReplyMsg> probe_waiters_;
+  // Force and lock completions are routed through a wait table rather than
+  // raw coroutine handles so that coroutine teardown (crash) can never leave
+  // the buffer or lock manager holding a dangling resume path.
+  WaitTable<bool> bool_waiters_;
+  // Correlation routing: aid-keyed replies (prepare/commit/query) map to the
+  // waiting corr id.
+  std::map<std::pair<Aid, GroupId>, std::uint64_t> prepare_corr_;
+  std::map<std::pair<Aid, GroupId>, std::uint64_t> commit_corr_;
+  std::map<Aid, std::uint64_t> query_corr_;
+  std::map<GroupId, std::vector<std::uint64_t>> probe_corr_;
+
+  CohortStats stats_;
+
+  // Declared last: destroying the registry tears down suspended coroutines
+  // whose awaiter destructors deregister from the tables above.
+  sim::TaskRegistry tasks_;
+};
+
+}  // namespace vsr::core

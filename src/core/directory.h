@@ -1,0 +1,37 @@
+// The location server (§3): maps groupids to configurations.
+//
+// The paper assumes "a highly-available location server that maps groupids
+// to configurations" and notes it defines the limit of availability
+// (footnote 2). Following that assumption we model it as an always-available
+// in-process registry; cohorts then probe configuration members to discover
+// the current primary and viewid, exactly as §3 describes, and cache the
+// answer.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "vr/types.h"
+
+namespace vsr::core {
+
+class Directory {
+ public:
+  void RegisterGroup(vr::GroupId group, std::vector<vr::Mid> configuration) {
+    groups_[group] = std::move(configuration);
+  }
+
+  // nullptr if the group is unknown.
+  const std::vector<vr::Mid>* Lookup(vr::GroupId group) const {
+    auto it = groups_.find(group);
+    if (it == groups_.end()) return nullptr;
+    return &it->second;
+  }
+
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::map<vr::GroupId, std::vector<vr::Mid>> groups_;
+};
+
+}  // namespace vsr::core

@@ -1,0 +1,84 @@
+// Tunables for a cohort. Defaults model a local-area network of the paper's
+// era scaled to the simulator's microsecond clock; every benchmark sweep
+// varies these explicitly.
+#pragma once
+
+#include "sim/time.h"
+#include "vr/comm_buffer.h"
+
+namespace vsr::core {
+
+struct CohortOptions {
+  // ---- Failure detection (§4: "I'm alive" messages) ----
+  sim::Duration ping_interval = 30 * sim::kMillisecond;
+  sim::Duration liveness_timeout = 120 * sim::kMillisecond;
+  sim::Duration fd_check_interval = 40 * sim::kMillisecond;
+
+  // ---- View change (§4.1: use "fairly long" timeouts so slow responders
+  //      are not excluded, which would trigger cascading view changes) ----
+  sim::Duration invite_response_wait = 150 * sim::kMillisecond;
+  sim::Duration view_form_retry = 250 * sim::kMillisecond;
+  sim::Duration underling_timeout = 400 * sim::kMillisecond;
+  // Staggered manager eligibility (§4.1: "the cohorts could be ordered, and
+  // a cohort would become a manager only if all higher-priority cohorts
+  // appear to be inaccessible"). Cohort k in the configuration waits an
+  // extra k * manager_stagger before self-promoting to manager.
+  sim::Duration manager_stagger = 60 * sim::kMillisecond;
+
+  // ---- Communication buffer ----
+  vr::CommBufferOptions buffer;
+
+  // ---- Transactions ----
+  sim::Duration lock_wait_timeout = 150 * sim::kMillisecond;
+  sim::Duration call_timeout = 60 * sim::kMillisecond;  // per attempt
+  int call_attempts = 3;                                // probes before "no reply"
+  sim::Duration prepare_timeout = 80 * sim::kMillisecond;
+  int prepare_attempts = 3;
+  sim::Duration commit_ack_timeout = 80 * sim::kMillisecond;
+  int commit_attempts = 5;
+  sim::Duration probe_timeout = 50 * sim::kMillisecond;
+  int probe_rounds = 4;
+  // Blocked prepared participants query the coordinator group this often
+  // (§3.4).
+  sim::Duration query_interval = 250 * sim::kMillisecond;
+  // §3.5: a coordinator-server aborts an externally driven transaction
+  // unilaterally when the client has gone quiet this long.
+  sim::Duration external_txn_timeout = 2 * sim::kSecond;
+  // §3.4: a participant holding locks for a transaction that has gone quiet
+  // (no call/prepare/commit activity) queries the coordinator group after
+  // this long — abort messages are best-effort, so this is the net that
+  // frees locks left by vanished or doomed transactions.
+  sim::Duration idle_txn_timeout = 700 * sim::kMillisecond;
+
+  // ---- Design choices (ablations; see DESIGN.md §4) ----
+  // Backups apply event records as they arrive (fast primary handoff) vs.
+  // store them and replay on promotion (§3.3's trade-off).
+  bool eager_backup_apply = true;
+  // Force completed-call records even for read-only participants (§3.7).
+  // Disabling this is UNSAFE — it exists to demonstrate the two-phase-
+  // locking violation the paper warns about.
+  bool force_read_only_prepare = true;
+  // Run each remote call as a subaction and retry on no-reply instead of
+  // aborting the whole transaction (§3.6 nested transactions).
+  bool nested_call_retry = false;
+  // Fig. 2 step 4 retries a call after a view-changed rejection, which is
+  // only sound when the transport never duplicates frames: "If duplicate
+  // messages are possible, we must abort the transaction in this case too"
+  // (§3.1 — a duplicate of the rejected transmission may have executed in
+  // the old view). Set true only when the network's duplicate probability
+  // is zero.
+  bool assume_no_duplicates = false;
+  int nested_retry_attempts = 3;
+  // Active primary may unilaterally add/exclude backups while it retains a
+  // sub-majority (§4.1 last paragraph).
+  bool unilateral_view_tweaks = false;
+  // Persist cur_viewid at the end of a view change (§4.2). Disabling models
+  // the fully-volatile ablation and widens the catastrophe window (E9).
+  bool write_viewid_durably = true;
+  // §6's trade-off knob: force each completed-call record to a sub-majority
+  // BEFORE replying. "There would be no aborts due to view changes, but
+  // calls would be processed more slowly." Measured in bench E5.
+  bool force_calls_before_reply = false;
+};
+
+}  // namespace vsr::core

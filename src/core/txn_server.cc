@@ -1,0 +1,691 @@
+// The server role (Fig. 3) and backup record application (§3.3).
+#include <memory>
+
+#include "core/cohort.h"
+
+namespace vsr::core {
+
+// ---------------------------------------------------------------------------
+// Awaitable primitives
+// ---------------------------------------------------------------------------
+
+sim::Task<bool> Cohort::Force(Viewstamp vs) {
+  if (!buffer_.active()) co_return false;
+  const std::uint64_t corr = NextCorrId();
+  // ForceTo may complete synchronously (watermark already reached); the
+  // shared flag captures that case before we suspend.
+  auto sync = std::make_shared<std::pair<bool, bool>>(false, false);
+  buffer_.ForceTo(vs, [this, corr, sync](bool ok) {
+    sync->first = true;
+    sync->second = ok;
+    bool_waiters_.Fulfill(corr, ok);
+  });
+  if (sync->first) co_return sync->second;
+  auto r = co_await bool_waiters_.Await(
+      corr, options_.buffer.force_timeout + 100 * sim::kMillisecond);
+  co_return r.value_or(false);
+}
+
+sim::Task<bool> Cohort::AcquireLock(std::string uid, Aid aid,
+                                    vr::LockMode mode) {
+  const std::uint64_t corr = NextCorrId();
+  auto sync = std::make_shared<std::pair<bool, bool>>(false, false);
+  store_.Acquire(uid, aid, mode, options_.lock_wait_timeout,
+                 [this, corr, sync](bool ok) {
+                   sync->first = true;
+                   sync->second = ok;
+                   bool_waiters_.Fulfill(corr, ok);
+                 });
+  if (sync->first) co_return sync->second;
+  auto r = co_await bool_waiters_.Await(
+      corr, options_.lock_wait_timeout + 100 * sim::kMillisecond);
+  co_return r.value_or(false);
+}
+
+Viewstamp Cohort::AddRecord(vr::EventRecord rec) {
+  switch (rec.type) {
+    case vr::EventType::kCommitting:
+    case vr::EventType::kCommitted:
+      outcomes_.RecordCommitted(rec.sub_aid.aid);
+      break;
+    case vr::EventType::kAborted:
+      outcomes_.RecordAborted(rec.sub_aid.aid);
+      break;
+    case vr::EventType::kDone:
+      outcomes_.RecordDone(rec.sub_aid.aid);
+      break;
+    default:
+      break;
+  }
+  return buffer_.Add(std::move(rec));
+}
+
+// ---------------------------------------------------------------------------
+// Gstate snapshot (payload of the newview record)
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> Cohort::SnapshotGstate() const {
+  wire::Writer w;
+  store_.Snapshot(w);
+  outcomes_.Snapshot(w);
+  // Completed-call replies (replicated duplicate suppression, §3.1).
+  std::uint32_t completed = 0;
+  for (const auto& [seq, e] : call_dedup_) completed += e.completed ? 1 : 0;
+  w.U32(completed);
+  for (const auto& [seq, e] : call_dedup_) {
+    if (!e.completed) continue;
+    w.U64(seq);
+    e.aid.Encode(w);
+    e.reply.Encode(w);
+  }
+  return w.Take();
+}
+
+void Cohort::RestoreGstate(const std::vector<std::uint8_t>& bytes) {
+  wire::Reader r(bytes);
+  store_.Restore(r);
+  outcomes_.Restore(r);
+  call_dedup_.clear();
+  const std::uint32_t n = r.U32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t seq = r.U64();
+    DedupEntry e;
+    e.completed = true;
+    e.aid = Aid::Decode(r);
+    e.reply = vr::ReplyMsg::Decode(r);
+    call_dedup_[seq] = std::move(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backup replication (§3.3)
+// ---------------------------------------------------------------------------
+
+void Cohort::SendBufferAck() {
+  vr::BufferAckMsg ack;
+  ack.group = group_;
+  ack.viewid = cur_viewid_;
+  ack.from = self_;
+  ack.ts = applied_ts_;
+  SendMsg(cur_view_.primary, ack);
+}
+
+void Cohort::ApplyRecord(const vr::EventRecord& rec) {
+  ++stats_.records_applied_as_backup;
+  const bool eager = options_.eager_backup_apply;
+  switch (rec.type) {
+    case vr::EventType::kCompletedCall: {
+      if (eager) {
+        store_.ApplyEffects(rec.sub_aid, rec.effects);
+      } else {
+        pending_records_.push_back(rec);
+      }
+      // Reconstruct the reply so this cohort can re-answer the call if it
+      // becomes primary (replicated duplicate suppression).
+      if (rec.call_seq != 0) {
+        vr::ReplyMsg reply;
+        reply.status = vr::ReplyStatus::kOk;
+        reply.result = rec.result;
+        reply.pset = rec.nested_pset;
+        reply.pset.push_back(
+            vr::PsetEntry{group_, Viewstamp{cur_viewid_, rec.ts},
+                          rec.sub_aid.sub});
+        call_dedup_[rec.call_seq] =
+            DedupEntry{true, rec.sub_aid.aid, std::move(reply)};
+      }
+      break;
+    }
+    case vr::EventType::kCommitting:
+      outcomes_.RecordCommitted(rec.sub_aid.aid);
+      break;
+    case vr::EventType::kCommitted:
+      outcomes_.RecordCommitted(rec.sub_aid.aid);
+      PruneDedup(rec.sub_aid.aid);
+      if (eager) {
+        store_.Commit(rec.sub_aid.aid);
+      } else {
+        pending_records_.push_back(rec);
+      }
+      break;
+    case vr::EventType::kAborted:
+      outcomes_.RecordAborted(rec.sub_aid.aid);
+      PruneDedup(rec.sub_aid.aid);
+      if (eager) {
+        store_.Abort(rec.sub_aid.aid);
+      } else {
+        pending_records_.push_back(rec);
+      }
+      break;
+    case vr::EventType::kAbortedSub:
+      if (eager) {
+        store_.AbortSub(rec.sub_aid);
+      } else {
+        pending_records_.push_back(rec);
+      }
+      break;
+    case vr::EventType::kDone:
+      // GC: every participant acknowledged; the outcome will never be
+      // queried again.
+      outcomes_.RecordDone(rec.sub_aid.aid);
+      break;
+    case vr::EventType::kNewView:
+      break;  // handled in OnBufferBatch adoption paths
+  }
+}
+
+void Cohort::OnBufferBatch(const vr::BufferBatchMsg& m) {
+  if (m.events.empty()) return;
+  const vr::EventRecord& first = m.events.front();
+  const bool opens_view =
+      first.type == vr::EventType::kNewView && first.ts == 1;
+
+  // Path 1 — underling joining the view it accepted: "If a 'newview' record
+  // for a view with viewid equal to max_viewid arrives from the buffer,
+  // await_view initializes the cohort state before returning."
+  if (opens_view && !adopting_ && status_ == Status::kUnderling &&
+      m.viewid == max_viewid_ && first.view.Contains(self_) &&
+      m.from == first.view.primary) {
+    adopting_ = true;
+    AdoptNewView(first, m.viewid, first.ts);
+    return;
+  }
+
+  // Path 2 — unilateral view tweak by our active primary (§4.1): adopt a
+  // strictly newer view announced directly by its primary, without an
+  // invitation round.
+  if (opens_view && !adopting_ && m.viewid > max_viewid_ &&
+      (status_ == Status::kActive || status_ == Status::kUnderling) &&
+      first.view.Contains(self_) && m.from == first.view.primary) {
+    adopting_ = true;
+    AdoptNewView(first, m.viewid, first.ts);
+    return;
+  }
+
+  // Path 3 — steady-state backup application in timestamp order.
+  if (status_ != Status::kActive || m.viewid != cur_viewid_ ||
+      m.from != cur_view_.primary || cur_view_.primary == self_) {
+    return;
+  }
+  for (const vr::EventRecord& rec : m.events) {
+    if (rec.ts <= applied_ts_) continue;       // duplicate
+    if (rec.ts != applied_ts_ + 1) break;      // gap; wait for retransmit
+    ApplyRecord(rec);
+    applied_ts_ = rec.ts;
+    history_.Advance(rec.ts);
+  }
+  SendBufferAck();
+}
+
+// ---------------------------------------------------------------------------
+// ProcContext
+// ---------------------------------------------------------------------------
+
+ProcContext::ProcContext(Cohort& cohort, SubAid sub_aid,
+                         std::vector<std::uint8_t> args)
+    : cohort_(cohort), sub_aid_(sub_aid), args_(std::move(args)) {}
+
+void ProcContext::NoteEffect(const std::string& uid, vr::LockMode mode) {
+  auto it = effect_mode_.find(uid);
+  if (it == effect_mode_.end()) {
+    effect_order_.emplace_back(uid, mode);
+    effect_mode_[uid] = mode;
+    return;
+  }
+  if (mode == vr::LockMode::kWrite) {
+    it->second = vr::LockMode::kWrite;  // write dominates read
+    for (auto& [u, m] : effect_order_) {
+      if (u == uid) m = vr::LockMode::kWrite;
+    }
+  }
+}
+
+sim::Task<std::optional<std::string>> ProcContext::Read(std::string uid) {
+  const bool ok =
+      co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kRead);
+  if (!ok) throw TxnError("read-lock timeout on " + uid);
+  NoteEffect(uid, vr::LockMode::kRead);
+  co_return cohort_.store_.Read(uid, sub_aid_.aid);
+}
+
+sim::Task<std::optional<std::string>> ProcContext::ReadForUpdate(
+    std::string uid) {
+  const bool ok =
+      co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kWrite);
+  if (!ok) throw TxnError("update-lock timeout on " + uid);
+  NoteEffect(uid, vr::LockMode::kWrite);
+  co_return cohort_.store_.Read(uid, sub_aid_.aid);
+}
+
+sim::Task<void> ProcContext::Write(std::string uid, std::string value) {
+  const bool ok =
+      co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kWrite);
+  if (!ok) throw TxnError("write-lock timeout on " + uid);
+  NoteEffect(uid, vr::LockMode::kWrite);
+  cohort_.store_.WriteTentative(uid, sub_aid_, std::move(value));
+  co_return;
+}
+
+sim::Task<std::vector<std::uint8_t>> ProcContext::Call(
+    GroupId group, std::string proc, std::vector<std::uint8_t> args) {
+  return cohort_.NestedCall(*this, group, std::move(proc), std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+// Remote call processing (Fig. 3)
+// ---------------------------------------------------------------------------
+
+void Cohort::OnCall(const vr::CallMsg& m) {
+  // Duplicate suppression first — the "connection information" §3.1
+  // assumes. A completed call is re-answered from the stored reply even
+  // across view changes (the entry is replicated state); whether its events
+  // survived is decided later by compatible() at prepare time.
+  auto it = call_dedup_.find(m.call_seq);
+  if (it != call_dedup_.end() && (it->second.completed || IsActivePrimary())) {
+    ++stats_.duplicate_calls_suppressed;
+    if (it->second.completed && IsActivePrimary()) {
+      vr::ReplyMsg replay = it->second.reply;
+      replay.call_id = m.call_id;  // re-correlate for the retransmission
+      SendMsg(m.reply_to, replay);
+    } else {
+      // Still running: remember the newest retransmission so the eventual
+      // reply answers a correlation id the client is still waiting on.
+      it->second.latest_call_id = m.call_id;
+      it->second.latest_reply_to = m.reply_to;
+    }
+    return;
+  }
+  // "If the viewid in the call message is not equal to the primary's
+  //  cur_viewid, send back a rejection message containing the new viewid
+  //  and view."
+  if (!IsActivePrimary() || m.viewid != cur_viewid_) {
+    ++stats_.calls_rejected_wrong_view;
+    vr::ReplyMsg reject;
+    reject.call_id = m.call_id;
+    reject.status = vr::ReplyStatus::kWrongView;
+    if (status_ == Status::kActive) {
+      reject.view_known = true;
+      reject.new_viewid = cur_viewid_;
+      reject.new_view = cur_view_;
+    }
+    SendMsg(m.reply_to, reject);
+    return;
+  }
+  DedupEntry running;
+  running.aid = m.sub_aid.aid;
+  running.latest_call_id = m.call_id;
+  running.latest_reply_to = m.reply_to;
+  call_dedup_[m.call_seq] = running;
+  tasks_.Spawn(RunCall(m));
+}
+
+sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
+  const ViewId call_view = cur_viewid_;
+  // The client may retransmit while we execute; answer the newest copy.
+  auto latest = [this, &m]() -> std::pair<std::uint64_t, Mid> {
+    auto it = call_dedup_.find(m.call_seq);
+    if (it != call_dedup_.end() && it->second.latest_call_id != 0) {
+      return {it->second.latest_call_id, it->second.latest_reply_to};
+    }
+    return {m.call_id, m.reply_to};
+  };
+  vr::ReplyMsg reply;
+  reply.call_id = m.call_id;
+
+  auto pit = procs_.find(m.proc);
+  if (pit == procs_.end()) {
+    reply.status = vr::ReplyStatus::kFailed;
+    const std::string err = "unknown procedure: " + m.proc;
+    reply.result.assign(err.begin(), err.end());
+    auto [cid, to] = latest();
+    reply.call_id = cid;
+    call_dedup_[m.call_seq] = DedupEntry{true, m.sub_aid.aid, reply};
+    SendMsg(to, reply);
+    co_return;
+  }
+
+  // §3.6: discard tentative versions of subactions the caller has aborted —
+  // their abort-sub messages were best-effort and may never have arrived.
+  // The dead set also gates completion: a dead attempt still suspended here
+  // must not record effects when it eventually finishes.
+  for (std::uint32_t dead : m.dead_subs) {
+    const SubAid dead_sub{m.sub_aid.aid, dead};
+    if (dead_subs_by_txn_[m.sub_aid.aid].insert(dead).second) {
+      store_.AbortSub(dead_sub);
+      AddRecord(vr::EventRecord::AbortedSub(dead_sub));
+    }
+  }
+
+  // "Create an empty pset. Then run the call."
+  ProcContext ctx(*this, m.sub_aid, m.args);
+  ctx.dead_subs_ = m.dead_subs;
+  bool failed = false;
+  std::string error;
+  std::vector<std::uint8_t> result;
+  try {
+    result = co_await pit->second(ctx);
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  // The view may have changed while the procedure was suspended; effects
+  // belong to the old view and the reply must not claim success in it.
+  if (status_ != Status::kActive || cur_viewid_ != call_view ||
+      cur_view_.primary != self_) {
+    co_return;
+  }
+
+  // The attempt may have been declared dead (§3.6) while the procedure was
+  // suspended: its effects must be discarded, not recorded.
+  if (auto dit = dead_subs_by_txn_.find(m.sub_aid.aid);
+      dit != dead_subs_by_txn_.end() &&
+      dit->second.count(m.sub_aid.sub) != 0) {
+    store_.AbortSub(m.sub_aid);
+    call_dedup_.erase(m.call_seq);
+    co_return;
+  }
+
+  if (failed) {
+    reply.status = vr::ReplyStatus::kFailed;
+    reply.result.assign(error.begin(), error.end());
+    auto [cid, to] = latest();
+    reply.call_id = cid;
+    call_dedup_[m.call_seq] = DedupEntry{true, m.sub_aid.aid, reply};
+    SendMsg(to, reply);
+    co_return;
+  }
+
+  // "When the call finishes, add a <'completed-call', object-list, aid>
+  //  record to the buffer ... Add a <mygroupid, new_vs> pair to the pset and
+  //  send back a reply message containing the pset."
+  std::vector<vr::ObjectEffect> effects;
+  effects.reserve(ctx.effect_order_.size());
+  for (const auto& [uid, mode] : ctx.effect_order_) {
+    vr::ObjectEffect e;
+    e.uid = uid;
+    e.mode = mode;
+    if (mode == vr::LockMode::kWrite) {
+      e.tentative = store_.Read(uid, m.sub_aid.aid);
+    }
+    effects.push_back(std::move(e));
+  }
+  const Viewstamp vs = AddRecord(vr::EventRecord::CompletedCall(
+      m.sub_aid, std::move(effects), m.call_seq, result, ctx.pset_));
+  ++stats_.calls_executed;
+  txn_activity_[m.sub_aid.aid] = sim_.Now();
+
+  // §6 ablation: synchronous replication of the completed-call record makes
+  // the call itself survive any subsequent view change, at the price of a
+  // force on every call's critical path.
+  if (options_.force_calls_before_reply) {
+    const bool ok = co_await Force(vs);
+    if (!ok || status_ != Status::kActive || cur_viewid_ != call_view ||
+        cur_view_.primary != self_) {
+      co_return;  // could not make it durable; client treats as no reply
+    }
+  }
+
+  reply.status = vr::ReplyStatus::kOk;
+  reply.result = std::move(result);
+  reply.pset = ctx.pset_;
+  reply.pset.push_back(vr::PsetEntry{group_, vs, m.sub_aid.sub});
+  auto [cid, to] = latest();
+  reply.call_id = cid;
+  call_dedup_[m.call_seq] = DedupEntry{true, m.sub_aid.aid, reply};
+  SendMsg(to, reply);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit, participant side (Fig. 3)
+// ---------------------------------------------------------------------------
+
+void Cohort::OnPrepare(const vr::PrepareMsg& m) {
+  if (!IsActivePrimary()) {
+    vr::PrepareReplyMsg r;
+    r.aid = m.aid;
+    r.from_group = group_;
+    r.status = vr::PrepareStatus::kWrongPrimary;
+    if (status_ == Status::kActive) {
+      r.view_known = true;
+      r.new_viewid = cur_viewid_;
+      r.new_view = cur_view_;
+    }
+    SendMsg(m.reply_to, r);
+    return;
+  }
+  tasks_.Spawn(RunPrepare(m));
+}
+
+sim::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
+  vr::PrepareReplyMsg r;
+  r.aid = m.aid;
+  r.from_group = group_;
+
+  // A racing abort (e.g. via query resolution) is final.
+  if (outcomes_.Lookup(m.aid) == TxnOutcome::kAborted) {
+    r.status = vr::PrepareStatus::kRefused;
+    ++stats_.prepares_refused;
+    SendMsg(m.reply_to, r);
+    co_return;
+  }
+
+  // "If compatible(pset, history, mygroupid) ... Otherwise ... refus[e] the
+  //  prepare and abort the transaction."
+  if (!vr::Compatible(m.pset, group_, history_)) {
+    r.status = vr::PrepareStatus::kRefused;
+    ++stats_.prepares_refused;
+    SendMsg(m.reply_to, r);
+    LocalAbortTxn(m.aid);
+    co_return;
+  }
+
+  // §3.6: tentative versions from call attempts that are not in the pset
+  // belong to aborted subactions and must never be installed.
+  std::set<std::uint32_t> live_subs;
+  for (const vr::PsetEntry& e : m.pset) {
+    if (e.groupid == group_) live_subs.insert(e.sub);
+  }
+  store_.DiscardSubsExcept(m.aid, live_subs);
+
+  const bool read_only = !store_.HasWriteLocks(m.aid);
+
+  // "perform a force_to(vs_max(pset, mygroupid))" — §3.7 explains why this
+  // is required even for read-only participants (read locks must be known to
+  // survive a view change); force_read_only_prepare=false is the unsafe
+  // ablation demonstrating that.
+  const auto vsm = vr::VsMax(m.pset, group_);
+  bool force_ok = true;
+  if (vsm && (options_.force_read_only_prepare || !read_only)) {
+    force_ok = co_await Force(*vsm);
+  }
+  if (!force_ok || !IsActivePrimary()) {
+    r.status = vr::PrepareStatus::kRefused;
+    ++stats_.prepares_refused;
+    SendMsg(m.reply_to, r);
+    LocalAbortTxn(m.aid);
+    co_return;
+  }
+
+  // "release read locks held by the transaction, and then reply prepared."
+  store_.ReleaseReadLocks(m.aid);
+  r.status = vr::PrepareStatus::kPrepared;
+  r.read_only = read_only;
+  ++stats_.prepares_ok;
+  txn_activity_[m.aid] = sim_.Now();
+  if (read_only) {
+    // "If the transaction is read-only, add a <'committed', aid> record."
+    AddRecord(vr::EventRecord::Committed(m.aid));
+    store_.Commit(m.aid);
+  } else {
+    prepared_.insert(m.aid);
+  }
+  SendMsg(m.reply_to, r);
+}
+
+void Cohort::PruneDedup(Aid aid) {
+  std::erase_if(call_dedup_, [&](const auto& kv) {
+    return kv.second.completed && kv.second.aid == aid;
+  });
+}
+
+void Cohort::CommitLocally(Aid aid) {
+  store_.Commit(aid);
+  outcomes_.RecordCommitted(aid);
+  prepared_.erase(aid);
+  txn_activity_.erase(aid);
+  dead_subs_by_txn_.erase(aid);
+  PruneDedup(aid);
+  ++stats_.commits_applied;
+}
+
+void Cohort::OnCommit(const vr::CommitMsg& m) {
+  if (!IsActivePrimary()) {
+    vr::CommitDoneMsg r;
+    r.aid = m.aid;
+    r.from_group = group_;
+    r.wrong_primary = true;
+    if (status_ == Status::kActive) {
+      r.view_known = true;
+      r.new_viewid = cur_viewid_;
+      r.new_view = cur_view_;
+    }
+    SendMsg(m.reply_to, r);
+    return;
+  }
+  tasks_.Spawn(RunCommit(m));
+}
+
+sim::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
+  // "Release locks and install versions held by the transaction. Add a
+  //  <'committed', aid> record to the buffer, do a force_to(new_vs), and
+  //  send a done message to the coordinator."
+  if (outcomes_.Lookup(m.aid) != TxnOutcome::kCommitted) {
+    CommitLocally(m.aid);
+    const Viewstamp vs = AddRecord(vr::EventRecord::Committed(m.aid));
+    const bool ok = co_await Force(vs);
+    if (!ok || !IsActivePrimary()) co_return;  // view change resolves it
+  }
+  vr::CommitDoneMsg done;
+  done.aid = m.aid;
+  done.from_group = group_;
+  SendMsg(m.reply_to, done);
+}
+
+void Cohort::LocalAbortTxn(Aid aid) {
+  if (outcomes_.Lookup(aid) == TxnOutcome::kAborted) return;
+  store_.Abort(aid);
+  prepared_.erase(aid);
+  txn_activity_.erase(aid);
+  dead_subs_by_txn_.erase(aid);
+  PruneDedup(aid);
+  ++stats_.aborts_applied;
+  if (IsActivePrimary() && buffer_.active()) {
+    AddRecord(vr::EventRecord::Aborted(aid));
+  } else {
+    outcomes_.RecordAborted(aid);
+  }
+}
+
+void Cohort::OnAbort(const vr::AbortMsg& m) {
+  // "Discard locks and versions held by the aborted transaction and add an
+  //  <'aborted', aid> record to the buffer."
+  if (!IsActivePrimary()) return;  // lost aborts are recovered via queries
+  LocalAbortTxn(m.aid);
+}
+
+void Cohort::OnAbortSub(const vr::AbortSubMsg& m) {
+  if (!IsActivePrimary()) return;
+  if (!dead_subs_by_txn_[m.sub_aid.aid].insert(m.sub_aid.sub).second) return;
+  store_.AbortSub(m.sub_aid);
+  AddRecord(vr::EventRecord::AbortedSub(m.sub_aid));
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-transaction resolution via queries (§3.4)
+// ---------------------------------------------------------------------------
+
+void Cohort::ArmQueryTimer() {
+  sim_.scheduler().Cancel(query_timer_);
+  query_timer_ = sim_.scheduler().After(options_.query_interval,
+                                        [this] { QueryBlockedTxns(); });
+}
+
+void Cohort::QueryBlockedTxns() {
+  ArmQueryTimer();
+  if (!IsActivePrimary()) return;
+  SweepExternalTxns();
+  std::vector<Aid> blocked;
+  for (const Aid& aid : prepared_) {
+    if (querying_.count(aid) == 0) blocked.push_back(aid);
+  }
+  // The idle-transaction janitor (§3.4): abort messages are best-effort, so
+  // a transaction whose client vanished (or doomed itself after a no-reply)
+  // can leave locks behind. Any lock-holding transaction with no activity
+  // for idle_txn_timeout gets queried at its coordinator group.
+  const sim::Time now = sim_.Now();
+  for (const Aid& aid : store_.ActiveTxns()) {
+    if (aid.coordinator_group == group_ && active_txns_.count(aid) != 0) {
+      continue;  // our own in-flight transaction
+    }
+    if (querying_.count(aid) != 0 || prepared_.count(aid) != 0) continue;
+    auto it = txn_activity_.find(aid);
+    if (it == txn_activity_.end()) {
+      // First sighting (e.g. inherited through a view change): start the
+      // idle clock now.
+      txn_activity_[aid] = now;
+      continue;
+    }
+    if (now - it->second >= options_.idle_txn_timeout) blocked.push_back(aid);
+  }
+  for (const Aid& aid : blocked) {
+    querying_.insert(aid);
+    tasks_.Spawn(ResolveBlockedTxn(aid));
+  }
+}
+
+sim::Task<void> Cohort::ResolveBlockedTxn(Aid aid) {
+  // The aid embeds the coordinator's groupid (§3.4), so we know whom to ask;
+  // any cohort of that group that knows the outcome may answer.
+  const std::vector<Mid>* config = directory_.Lookup(aid.coordinator_group);
+  if (config != nullptr) {
+    for (Mid target : *config) {
+      if (outcomes_.Lookup(aid) != TxnOutcome::kUnknown) break;  // resolved
+      ++stats_.queries_sent;
+      const std::uint64_t corr = NextCorrId();
+      query_corr_[aid] = corr;
+      vr::QueryMsg q;
+      q.aid = aid;
+      q.reply_to = self_;
+      q.reply_group = group_;
+      SendMsg(target, q);
+      auto r = co_await query_waiters_.Await(corr, options_.probe_timeout);
+      if (auto it = query_corr_.find(aid);
+          it != query_corr_.end() && it->second == corr) {
+        query_corr_.erase(it);
+      }
+      if (!r) continue;
+      if (r->outcome == TxnOutcome::kCommitted) {
+        ++stats_.queries_resolved;
+        // The coordinator's commit decision is final and system-wide; our
+        // volatile prepared_ set may have been lost in a view change while
+        // the transaction's effects survived in the gstate, so install
+        // unconditionally.
+        if (IsActivePrimary()) {
+          CommitLocally(aid);
+          const Viewstamp vs = AddRecord(vr::EventRecord::Committed(aid));
+          co_await Force(vs);
+        }
+        break;
+      }
+      if (r->outcome == TxnOutcome::kAborted) {
+        ++stats_.queries_resolved;
+        LocalAbortTxn(aid);
+        break;
+      }
+      if (r->outcome == TxnOutcome::kActive) break;  // still deciding
+    }
+  }
+  querying_.erase(aid);
+}
+
+}  // namespace vsr::core

@@ -1,0 +1,100 @@
+// Awaitable request/response correlation.
+//
+// A coroutine that sent a request co_awaits WaitTable::Await(key, timeout)
+// and is resumed either by Fulfill(key, msg) when the matching response
+// frame arrives, or by the timeout with nullopt. The awaiter deregisters
+// itself on destruction, so destroying a suspended coroutine (node crash,
+// transaction teardown) leaves no dangling resume path.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace vsr::core {
+
+template <typename M>
+class WaitTable {
+ public:
+  explicit WaitTable(sim::Scheduler& sched) : sched_(sched) {}
+  WaitTable(const WaitTable&) = delete;
+  WaitTable& operator=(const WaitTable&) = delete;
+
+  class Awaiter {
+   public:
+    Awaiter(WaitTable& table, std::uint64_t key, sim::Duration timeout)
+        : table_(table), key_(key), timeout_(timeout) {}
+    Awaiter(const Awaiter&) = delete;
+    Awaiter& operator=(const Awaiter&) = delete;
+    ~Awaiter() {
+      if (registered_) table_.entries_.erase(key_);
+      table_.sched_.Cancel(timer_);
+    }
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      table_.entries_[key_] = this;
+      registered_ = true;
+      timer_ = table_.sched_.After(timeout_, [this] {
+        timer_ = sim::kNoTimer;
+        Fire(std::nullopt);
+      });
+    }
+    std::optional<M> await_resume() noexcept { return std::move(result_); }
+
+   private:
+    friend class WaitTable;
+
+    void Fire(std::optional<M> m) {
+      if (registered_) {
+        table_.entries_.erase(key_);
+        registered_ = false;
+      }
+      table_.sched_.Cancel(timer_);
+      timer_ = sim::kNoTimer;
+      result_ = std::move(m);
+      // Resuming may destroy this awaiter's frame; touch nothing after.
+      handle_.resume();
+    }
+
+    WaitTable& table_;
+    std::uint64_t key_;
+    sim::Duration timeout_;
+    bool registered_ = false;
+    std::coroutine_handle<> handle_;
+    sim::TimerId timer_ = sim::kNoTimer;
+    std::optional<M> result_;
+  };
+
+  // One waiter per key at a time; keys must be unique per outstanding
+  // request (callers use monotonically increasing correlation ids).
+  Awaiter Await(std::uint64_t key, sim::Duration timeout) {
+    assert(entries_.count(key) == 0);
+    return Awaiter(*this, key, timeout);
+  }
+
+  // Delivers a response. Returns false if nobody is waiting (late/duplicate
+  // responses are dropped by the caller).
+  bool Fulfill(std::uint64_t key, M msg) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    Awaiter* a = it->second;
+    a->Fire(std::move(msg));
+    return true;
+  }
+
+  std::size_t pending() const { return entries_.size(); }
+
+ private:
+  friend class Awaiter;
+  sim::Scheduler& sched_;
+  std::unordered_map<std::uint64_t, Awaiter*> entries_;
+};
+
+}  // namespace vsr::core

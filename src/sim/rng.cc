@@ -1,0 +1,78 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace vsr::sim {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  // splitmix64 expansion guarantees a non-zero state for xoshiro.
+  for (auto& s : s_) s = SplitMix64(seed);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = span * (~0ULL / span);
+  std::uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + v % span;
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::uint64_t Rng::Exponential(double mean) {
+  if (mean <= 0.0) return 0;
+  double u = UniformDouble();
+  // Guard the log singularity at u == 0.
+  if (u <= 0.0) u = 0x1.0p-53;
+  double v = -mean * std::log(u);
+  if (v < 0.0) v = 0.0;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  return static_cast<std::size_t>(UniformInt(0, n - 1));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace vsr::sim

@@ -1,0 +1,88 @@
+// The discrete-event scheduler at the heart of the simulator.
+//
+// Every asynchronous action in the system — message delivery, timer expiry,
+// stable-storage write completion — is an Event in one priority queue,
+// ordered by (time, insertion sequence). The sequence number makes
+// simultaneous events fire in a deterministic order, which in turn makes the
+// whole simulation a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vsr::sim {
+
+// Identifies a scheduled event so that it can be cancelled. Id 0 is never
+// issued and may be used as a sentinel for "no timer armed".
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Current simulated time.
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (clamped to >= Now()).
+  TimerId At(Time at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  TimerId After(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // harmless no-op, so callers do not need to track firing themselves.
+  void Cancel(TimerId id);
+
+  // Runs the next pending event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until the queue is empty or simulated time would exceed
+  // `deadline`; leaves events scheduled after the deadline pending and
+  // advances Now() to the deadline. Returns the number of events run.
+  std::uint64_t RunUntil(Time deadline);
+
+  // Runs events until the queue drains. Returns the number of events run.
+  // `max_events` guards against runaway self-rescheduling loops.
+  std::uint64_t RunToQuiescence(std::uint64_t max_events = UINT64_MAX);
+
+  bool Empty() const { return pending_.empty(); }
+
+  std::uint64_t EventsRun() const { return events_run_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    TimerId id;
+    // Stored via shared_ptr so Event is copyable inside the priority_queue.
+    std::shared_ptr<std::function<void()>> fn;
+
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  // Ids scheduled but not yet run or cancelled; keeps Cancel() of unknown
+  // ids a true no-op and makes Empty() exact.
+  std::unordered_set<TimerId> pending_;
+};
+
+}  // namespace vsr::sim

@@ -1,0 +1,33 @@
+// Bundles the pieces every simulated world needs: one scheduler, one root
+// PRNG, one tracer. All subsystems receive references to (or forks of) these,
+// never their own independently seeded sources.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace vsr::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+  Scheduler& scheduler() { return sched_; }
+  Rng& rng() { return rng_; }
+  Tracer& tracer() { return tracer_; }
+  Time Now() const { return sched_.Now(); }
+
+ private:
+  std::uint64_t seed_;
+  Scheduler sched_;
+  Rng rng_;
+  Tracer tracer_;
+};
+
+}  // namespace vsr::sim

@@ -1,0 +1,21 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace vsr::sim {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / kSecond);
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(d) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace vsr::sim

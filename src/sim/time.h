@@ -1,0 +1,26 @@
+// Simulated-time primitives for the deterministic discrete-event simulator.
+//
+// All protocol code in this repository observes time exclusively through
+// sim::Clock (see scheduler.h); wall-clock time is never consulted, which is
+// what makes every run reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vsr::sim {
+
+// A point in simulated time, in microseconds since simulation start.
+using Time = std::uint64_t;
+
+// A span of simulated time, in microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+// Renders a time/duration as a human-readable string, e.g. "12.345ms".
+std::string FormatDuration(Duration d);
+
+}  // namespace vsr::sim

@@ -1,0 +1,37 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace vsr::sim {
+
+void Tracer::Log(Time now, TraceLevel level, const char* tag, const char* fmt,
+                 ...) {
+  if (!Enabled(level)) return;
+
+  va_list args;
+  va_start(args, fmt);
+  char stack_buf[512];
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  std::string line;
+  if (n >= 0 && static_cast<size_t>(n) < sizeof(stack_buf)) {
+    line.assign(stack_buf, static_cast<size_t>(n));
+  } else if (n > 0) {
+    std::vector<char> big(static_cast<size_t>(n) + 1);
+    std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+    line.assign(big.data(), static_cast<size_t>(n));
+  }
+  va_end(args_copy);
+  va_end(args);
+
+  if (sink_) {
+    sink_(now, level, tag, line);
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", FormatDuration(now).c_str(), tag,
+                 line.c_str());
+  }
+}
+
+}  // namespace vsr::sim

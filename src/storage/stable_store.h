@@ -1,0 +1,86 @@
+// Simulated stable storage.
+//
+// The paper's design goal is to avoid stable storage on the critical path:
+// a cohort persists only mymid / configuration / mygroupid (at creation) and
+// cur_viewid (at the end of a view change); everything else is volatile and
+// streamed to backups instead (§4.2). The baselines, by contrast, force
+// data/prepare/commit records to stable storage, which is where the paper's
+// E2 performance claim comes from. This class models both uses: a key-value
+// store that survives crashes, with a configurable forced-write latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace vsr::storage {
+
+struct StableStoreOptions {
+  // Latency of a forced (synchronous, durable) write. The paper-era default
+  // models a disk write; modern SSD/NVRAM values are swept in bench E2.
+  sim::Duration force_latency = 10 * sim::kMillisecond;
+};
+
+class StableStore {
+ public:
+  StableStore(sim::Simulation& simulation, StableStoreOptions options)
+      : sim_(simulation), options_(options) {}
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  // Durably writes `value` under `key`; `on_durable` runs once the write has
+  // reached stable storage (after force_latency). The value is visible to
+  // Read() immediately after on_durable runs, and never lost afterwards.
+  void ForceWrite(std::string key, std::vector<std::uint8_t> value,
+                  std::function<void()> on_durable) {
+    ++pending_;
+    ++stats_.forced_writes;
+    stats_.bytes_written += value.size();
+    sim_.scheduler().After(
+        options_.force_latency,
+        [this, key = std::move(key), value = std::move(value),
+         cb = std::move(on_durable)]() mutable {
+          data_[std::move(key)] = std::move(value);
+          --pending_;
+          if (cb) cb();
+        });
+  }
+
+  // Reads a previously forced value. Models post-crash recovery: only data
+  // whose force completed before the crash is present.
+  std::optional<std::vector<std::uint8_t>> Read(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const std::string& key) const {
+    return data_.count(key) != 0;
+  }
+
+  struct Stats {
+    std::uint64_t forced_writes = 0;
+    std::uint64_t bytes_written = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  int pending_writes() const { return pending_; }
+
+  const StableStoreOptions& options() const { return options_; }
+  void set_force_latency(sim::Duration d) { options_.force_latency = d; }
+
+ private:
+  sim::Simulation& sim_;
+  StableStoreOptions options_;
+  std::map<std::string, std::vector<std::uint8_t>> data_;
+  Stats stats_;
+  int pending_ = 0;
+};
+
+}  // namespace vsr::storage

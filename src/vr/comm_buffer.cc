@@ -1,0 +1,184 @@
+#include "vr/comm_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace vsr::vr {
+
+CommBuffer::CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
+                       std::function<void(Mid, const BufferBatchMsg&)> send,
+                       std::function<void()> on_force_failed)
+    : sim_(simulation),
+      options_(options),
+      send_(std::move(send)),
+      on_force_failed_(std::move(on_force_failed)) {}
+
+void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
+                           std::size_t config_size, GroupId group, Mid self,
+                           History* history) {
+  Stop();
+  active_ = true;
+  viewid_ = viewid;
+  group_ = group;
+  self_ = self;
+  backups_ = std::move(backups);
+  sub_majority_ = SubMajorityOf(config_size);
+  history_ = history;
+  next_ts_ = 1;
+  records_.clear();
+  acked_.clear();
+  for (Mid b : backups_) acked_[b] = 0;
+
+  retransmit_timer_ = sim_.scheduler().After(options_.retransmit_interval,
+                                             [this] { FlushNow(); });
+}
+
+void CommBuffer::Stop() {
+  active_ = false;
+  sim_.scheduler().Cancel(flush_timer_);
+  sim_.scheduler().Cancel(retransmit_timer_);
+  sim_.scheduler().Cancel(force_check_timer_);
+  flush_timer_ = retransmit_timer_ = force_check_timer_ = sim::kNoTimer;
+  // Drop pending forces without invoking callbacks: the continuations belong
+  // to coroutines the cohort is about to destroy anyway.
+  forces_.clear();
+  history_ = nullptr;
+}
+
+Viewstamp CommBuffer::Add(EventRecord record) {
+  assert(active_);
+  record.ts = next_ts_++;
+  // "It atomically assigns the event a timestamp (advancing the timestamp
+  //  and updating the history in the process)".
+  history_->Advance(record.ts);
+  records_.push_back(std::move(record));
+  ++stats_.adds;
+  ScheduleFlush(options_.flush_delay);
+  return Viewstamp{viewid_, records_.back().ts};
+}
+
+void CommBuffer::ForceTo(Viewstamp vs, std::function<void(bool)> done) {
+  ++stats_.forces;
+  // "If the viewstamp is not for the current view it returns immediately."
+  if (!active_ || vs.view != viewid_) {
+    ++stats_.forces_immediate;
+    done(true);
+    return;
+  }
+  if (StableTs() >= vs.ts || sub_majority_ == 0) {
+    ++stats_.forces_immediate;
+    done(true);
+    return;
+  }
+  forces_.push_back(PendingForce{vs.ts, std::move(done),
+                                 sim_.Now() + options_.force_timeout});
+  if (force_check_timer_ == sim::kNoTimer) {
+    force_check_timer_ = sim_.scheduler().After(
+        options_.force_timeout, [this] { CheckForceTimeouts(); });
+  }
+  ScheduleFlush(0);
+}
+
+std::uint64_t CommBuffer::StableTs() const {
+  if (backups_.empty() || sub_majority_ == 0) return next_ts_ - 1;
+  std::vector<std::uint64_t> acks;
+  acks.reserve(acked_.size());
+  for (const auto& [mid, ts] : acked_) acks.push_back(ts);
+  std::sort(acks.begin(), acks.end(), std::greater<>());
+  if (acks.size() < sub_majority_) return 0;
+  return acks[sub_majority_ - 1];
+}
+
+void CommBuffer::OnAck(const BufferAckMsg& ack) {
+  if (!active_ || ack.viewid != viewid_) return;
+  auto it = acked_.find(ack.from);
+  if (it == acked_.end()) return;
+  if (ack.ts > it->second) it->second = ack.ts;
+  ResolveForces();
+}
+
+void CommBuffer::ResolveForces() {
+  const std::uint64_t stable = StableTs();
+  // Callbacks may add records / new forces; collect first, then run.
+  std::vector<std::function<void(bool)>> ready;
+  std::erase_if(forces_, [&](PendingForce& f) {
+    if (f.ts <= stable) {
+      ready.push_back(std::move(f.done));
+      return true;
+    }
+    return false;
+  });
+  for (auto& cb : ready) cb(true);
+}
+
+void CommBuffer::CheckForceTimeouts() {
+  force_check_timer_ = sim::kNoTimer;
+  if (!active_) return;
+  const sim::Time now = sim_.Now();
+  std::vector<std::function<void(bool)>> expired;
+  sim::Time next_deadline = 0;
+  std::erase_if(forces_, [&](PendingForce& f) {
+    if (f.deadline <= now) {
+      expired.push_back(std::move(f.done));
+      return true;
+    }
+    if (next_deadline == 0 || f.deadline < next_deadline) {
+      next_deadline = f.deadline;
+    }
+    return false;
+  });
+  if (next_deadline != 0) {
+    force_check_timer_ =
+        sim_.scheduler().At(next_deadline, [this] { CheckForceTimeouts(); });
+  }
+  if (!expired.empty()) {
+    stats_.forces_failed += expired.size();
+    for (auto& cb : expired) cb(false);
+    // "If communication with some backups is impossible, the call of
+    //  force-to will be abandoned, and the cohort will switch to running the
+    //  view change algorithm."
+    if (on_force_failed_) on_force_failed_();
+  }
+}
+
+void CommBuffer::ScheduleFlush(sim::Duration delay) {
+  if (!active_) return;
+  if (delay == 0) {
+    sim_.scheduler().Cancel(flush_timer_);
+    flush_timer_ = sim::kNoTimer;
+    FlushNow();
+    return;
+  }
+  if (flush_timer_ != sim::kNoTimer) return;  // already scheduled
+  flush_timer_ = sim_.scheduler().After(delay, [this] {
+    flush_timer_ = sim::kNoTimer;
+    FlushNow();
+  });
+}
+
+void CommBuffer::FlushNow() {
+  if (!active_) return;
+  for (Mid b : backups_) SendTo(b);
+  // Re-arm the retransmission timer.
+  sim_.scheduler().Cancel(retransmit_timer_);
+  retransmit_timer_ = sim_.scheduler().After(options_.retransmit_interval,
+                                             [this] { FlushNow(); });
+}
+
+void CommBuffer::SendTo(Mid backup) {
+  const std::uint64_t from = acked_[backup];  // next needed is from + 1
+  if (from >= records_.size()) return;        // fully acked
+  BufferBatchMsg batch;
+  batch.group = group_;
+  batch.viewid = viewid_;
+  batch.from = self_;
+  const std::size_t end =
+      std::min(records_.size(), static_cast<std::size_t>(from) + options_.max_batch);
+  batch.events.assign(records_.begin() + static_cast<long>(from),
+                      records_.begin() + static_cast<long>(end));
+  ++stats_.batches_sent;
+  send_(backup, batch);
+}
+
+}  // namespace vsr::vr

@@ -1,0 +1,143 @@
+// The primary's communication buffer (§2).
+//
+// "Instead of checkpointing events directly to the backups, the primary
+//  maintains a communication buffer (similar to a fifo queue) to which it
+//  writes event records. ... Information in the buffer is sent to the
+//  backups in timestamp order."
+//
+// Add() atomically assigns the next timestamp, advances the cohort history,
+// and appends the record; records are flushed to backups in background
+// (write semantics) and ForceTo() implements the force-to operation: it
+// completes once a sub-majority of backups acknowledge everything up to the
+// given viewstamp, so that — counting the primary itself — a majority of the
+// configuration knows those events. A force that cannot complete within its
+// timeout is abandoned and reported, which is the trigger for the cohort to
+// run a view change (§3 footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "vr/events.h"
+#include "vr/history.h"
+#include "vr/messages.h"
+#include "vr/types.h"
+
+namespace vsr::vr {
+
+struct CommBufferOptions {
+  // Background flush delay: how long Add()ed records may linger before being
+  // sent ("at a convenient time"). ForceTo flushes immediately.
+  sim::Duration flush_delay = 500 * sim::kMicrosecond;
+  // Retransmission interval for unacknowledged records.
+  sim::Duration retransmit_interval = 20 * sim::kMillisecond;
+  // A force that has not satisfied a sub-majority within this window is
+  // abandoned (communication failure ⇒ view change).
+  sim::Duration force_timeout = 400 * sim::kMillisecond;
+  // Max records per BufferBatch message.
+  std::size_t max_batch = 64;
+};
+
+class CommBuffer {
+ public:
+  // send(to, batch) transmits a batch to one backup. on_force_failed() fires
+  // when a force is abandoned.
+  CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
+             std::function<void(Mid, const BufferBatchMsg&)> send,
+             std::function<void()> on_force_failed);
+  ~CommBuffer() { Stop(); }
+  CommBuffer(const CommBuffer&) = delete;
+  CommBuffer& operator=(const CommBuffer&) = delete;
+
+  // Begins operating for a view this cohort leads. `history` is the cohort's
+  // history; Add() advances its last entry. `config_size` is the size of the
+  // whole configuration (sub-majority arithmetic is over the configuration,
+  // not the view).
+  void StartView(ViewId viewid, std::vector<Mid> backups,
+                 std::size_t config_size, GroupId group, Mid self,
+                 History* history);
+
+  // Stops all activity (cohort stopped being primary, or crashed). Pending
+  // forces fail silently (their transactions resolve via the view change).
+  void Stop();
+
+  bool active() const { return active_; }
+  ViewId viewid() const { return viewid_; }
+  std::uint64_t last_ts() const { return next_ts_ - 1; }
+
+  // The add operation (§3): assigns the event a timestamp, advances the
+  // history, appends to the buffer, schedules a background flush. Returns
+  // the event's viewstamp.
+  Viewstamp Add(EventRecord record);
+
+  // The force-to operation (§3). Completes with true once a sub-majority of
+  // backups ack all events of the current view with timestamps <= vs.ts;
+  // completes immediately (true) if vs is not for the current view;
+  // completes with false if abandoned. The callback may run synchronously.
+  void ForceTo(Viewstamp vs, std::function<void(bool)> done);
+
+  // Backup acknowledgment.
+  void OnAck(const BufferAckMsg& ack);
+
+  // Sub-majority ack watermark: the highest ts acked by at least a
+  // sub-majority of backups (0 if none).
+  std::uint64_t StableTs() const;
+
+  // All records of the current view (for tests and the lazy-apply ablation).
+  const std::vector<EventRecord>& records() const { return records_; }
+
+  struct Stats {
+    std::uint64_t adds = 0;
+    std::uint64_t forces = 0;
+    // Forces satisfied without waiting: the needed acks were already in
+    // (§3.7's "prepare messages are usually processed entirely at the
+    // primary" claim, measured in bench E2).
+    std::uint64_t forces_immediate = 0;
+    std::uint64_t forces_failed = 0;
+    std::uint64_t batches_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  struct PendingForce {
+    std::uint64_t ts;
+    std::function<void(bool)> done;
+    sim::Time deadline;
+  };
+
+  void ScheduleFlush(sim::Duration delay);
+  void FlushNow();
+  void SendTo(Mid backup);
+  void ResolveForces();
+  void CheckForceTimeouts();
+
+  sim::Simulation& sim_;
+  CommBufferOptions options_;
+  std::function<void(Mid, const BufferBatchMsg&)> send_;
+  std::function<void()> on_force_failed_;
+
+  bool active_ = false;
+  ViewId viewid_;
+  GroupId group_ = 0;
+  Mid self_ = 0;
+  std::vector<Mid> backups_;
+  std::size_t sub_majority_ = 0;
+  History* history_ = nullptr;
+
+  std::uint64_t next_ts_ = 1;
+  std::vector<EventRecord> records_;  // records_[i].ts == i + 1
+  std::map<Mid, std::uint64_t> acked_;
+  std::vector<PendingForce> forces_;
+
+  sim::TimerId flush_timer_ = sim::kNoTimer;
+  sim::TimerId retransmit_timer_ = sim::kNoTimer;
+  sim::TimerId force_check_timer_ = sim::kNoTimer;
+
+  Stats stats_;
+};
+
+}  // namespace vsr::vr

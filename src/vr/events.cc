@@ -1,0 +1,33 @@
+#include "vr/events.h"
+
+namespace vsr::vr {
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kCompletedCall:
+      return "completed-call";
+    case EventType::kCommitting:
+      return "committing";
+    case EventType::kCommitted:
+      return "committed";
+    case EventType::kAborted:
+      return "aborted";
+    case EventType::kDone:
+      return "done";
+    case EventType::kAbortedSub:
+      return "aborted-sub";
+    case EventType::kNewView:
+      return "newview";
+  }
+  return "?";
+}
+
+std::string EventRecord::ToString() const {
+  std::string s = EventTypeName(type);
+  s += "@" + std::to_string(ts);
+  if (type != EventType::kNewView) s += " " + sub_aid.ToString();
+  if (type == EventType::kNewView) s += " " + view.ToString();
+  return s;
+}
+
+}  // namespace vsr::vr

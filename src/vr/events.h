@@ -1,0 +1,175 @@
+// Event records (§2): the units the primary streams to its backups through
+// the communication buffer, in timestamp order.
+//
+// The correspondence the paper draws in §3.7: completed-call records are the
+// data records a conventional system forces to stable storage before
+// preparing; committing/committed/aborted/done records are their stable-
+// storage counterparts; there is no prepare record (the history + pset
+// replace it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vr/history.h"
+#include "vr/types.h"
+#include "wire/buffer.h"
+
+namespace vsr::vr {
+
+enum class LockMode : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// One object touched by a completed call: which lock was taken and, for
+// writes, the tentative version created (§3.2 "object-list").
+struct ObjectEffect {
+  std::string uid;
+  LockMode mode = LockMode::kRead;
+  std::optional<std::string> tentative;  // present iff mode == kWrite
+
+  bool operator==(const ObjectEffect&) const = default;
+
+  void Encode(wire::Writer& w) const {
+    w.String(uid);
+    w.U8(static_cast<std::uint8_t>(mode));
+    w.Bool(tentative.has_value());
+    if (tentative) w.String(*tentative);
+  }
+  static ObjectEffect Decode(wire::Reader& r) {
+    ObjectEffect e;
+    e.uid = r.String();
+    std::uint8_t m = r.U8();
+    if (m > 1) r.MarkBad();
+    e.mode = static_cast<LockMode>(m);
+    if (r.Bool()) e.tentative = r.String();
+    return e;
+  }
+};
+
+enum class EventType : std::uint8_t {
+  kCompletedCall = 0,  // a remote call finished at this (server) group
+  kCommitting = 1,     // coordinator decided commit; carries the plist
+  kCommitted = 2,      // participant learned the transaction committed
+  kAborted = 3,        // transaction aborted
+  kDone = 4,           // coordinator: all participants acked the commit
+  kAbortedSub = 5,     // a subaction (call attempt) was discarded (§3.6)
+  kNewView = 6,        // first record of a view: view + history + gstate
+};
+
+const char* EventTypeName(EventType t);
+
+struct EventRecord {
+  EventType type = EventType::kCompletedCall;
+  // Timestamp assigned by CommBuffer::Add; 0 until then.
+  std::uint64_t ts = 0;
+
+  // kCompletedCall / kCommitting / kCommitted / kAborted / kDone / kAbortedSub
+  SubAid sub_aid;
+  // kCompletedCall: the objects read/written by the call.
+  std::vector<ObjectEffect> effects;
+  // kCompletedCall: the duplicate-suppression key, reply payload, and the
+  // pset contributed by nested calls. Replicating these makes every cohort
+  // able to re-answer a retransmitted call — the durable "connection
+  // information" §3.1 assumes of the message delivery system.
+  std::uint64_t call_seq = 0;
+  std::vector<std::uint8_t> result;
+  Pset nested_pset;
+  // kCommitting: the non-read-only participants (phase-two recipients).
+  std::vector<GroupId> plist;
+  // kNewView payload.
+  View view;
+  History history;
+  std::vector<std::uint8_t> gstate;
+
+  static EventRecord CompletedCall(SubAid id, std::vector<ObjectEffect> fx,
+                                   std::uint64_t call_seq = 0,
+                                   std::vector<std::uint8_t> result = {},
+                                   Pset nested_pset = {}) {
+    EventRecord e;
+    e.type = EventType::kCompletedCall;
+    e.sub_aid = id;
+    e.effects = std::move(fx);
+    e.call_seq = call_seq;
+    e.result = std::move(result);
+    e.nested_pset = std::move(nested_pset);
+    return e;
+  }
+  static EventRecord Committing(Aid aid, std::vector<GroupId> participants) {
+    EventRecord e;
+    e.type = EventType::kCommitting;
+    e.sub_aid = SubAid{aid, 0};
+    e.plist = std::move(participants);
+    return e;
+  }
+  static EventRecord Committed(Aid aid) {
+    EventRecord e;
+    e.type = EventType::kCommitted;
+    e.sub_aid = SubAid{aid, 0};
+    return e;
+  }
+  static EventRecord Aborted(Aid aid) {
+    EventRecord e;
+    e.type = EventType::kAborted;
+    e.sub_aid = SubAid{aid, 0};
+    return e;
+  }
+  static EventRecord Done(Aid aid) {
+    EventRecord e;
+    e.type = EventType::kDone;
+    e.sub_aid = SubAid{aid, 0};
+    return e;
+  }
+  static EventRecord AbortedSub(SubAid id) {
+    EventRecord e;
+    e.type = EventType::kAbortedSub;
+    e.sub_aid = id;
+    return e;
+  }
+  static EventRecord NewView(View v, History h, std::vector<std::uint8_t> g) {
+    EventRecord e;
+    e.type = EventType::kNewView;
+    e.view = std::move(v);
+    e.history = std::move(h);
+    e.gstate = std::move(g);
+    return e;
+  }
+
+  void Encode(wire::Writer& w) const {
+    w.U8(static_cast<std::uint8_t>(type));
+    w.U64(ts);
+    sub_aid.Encode(w);
+    w.Vector(effects, [&](const ObjectEffect& e) { e.Encode(w); });
+    w.U64(call_seq);
+    w.Bytes(result);
+    w.Vector(nested_pset, [&](const PsetEntry& p) { p.Encode(w); });
+    w.Vector(plist, [&](GroupId g) { w.U64(g); });
+    view.Encode(w);
+    history.Encode(w);
+    w.Bytes(gstate);
+  }
+  static EventRecord Decode(wire::Reader& r) {
+    EventRecord e;
+    std::uint8_t t = r.U8();
+    if (t > static_cast<std::uint8_t>(EventType::kNewView)) r.MarkBad();
+    e.type = static_cast<EventType>(t);
+    e.ts = r.U64();
+    e.sub_aid = SubAid::Decode(r);
+    e.effects = r.Vector<ObjectEffect>([&] { return ObjectEffect::Decode(r); });
+    e.call_seq = r.U64();
+    e.result = r.Bytes();
+    e.nested_pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    e.plist = r.Vector<GroupId>([&] { return r.U64(); });
+    e.view = View::Decode(r);
+    e.history = History::Decode(r);
+    e.gstate = r.Bytes();
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace vsr::vr

@@ -1,0 +1,711 @@
+// The wire protocol: every message exchanged by cohorts and clients.
+//
+// Message ↔ paper mapping:
+//   Ping          "I'm alive" messages (§4)
+//   Invite        the view manager's invitation (§4, Fig. 5)
+//   Accept        normal / "crashed" acceptances (§4)
+//   InitView      manager → new primary when the manager is not it (§4)
+//   BufferBatch   event records streamed from the communication buffer (§2);
+//                 also carries the newview record that initializes underlings
+//   BufferAck     backup acknowledgment driving force_to (§3)
+//   Call/Reply    remote procedure call to a server group's primary (Fig. 2/3)
+//   Prepare/...   two-phase commit (Fig. 2/3)
+//   AbortSub      discard one subaction — a retried call attempt (§3.6)
+//   Query/...     outcome queries (§3.4)
+//   Probe/...     locating the current primary + viewid of a group (§3,
+//                 cache initialization)
+//   BeginTxn/...  the coordinator-server protocol for unreplicated
+//                 clients (§3.5)
+//
+// Every struct has Encode(wire::Writer&) and static Decode(wire::Reader&);
+// a decoded message is only meaningful if reader.ok() afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vr/events.h"
+#include "vr/history.h"
+#include "vr/types.h"
+#include "wire/buffer.h"
+
+namespace vsr::vr {
+
+enum class MsgType : std::uint16_t {
+  kPing = 1,
+  kInvite = 2,
+  kAccept = 3,
+  kInitView = 4,
+  kBufferBatch = 5,
+  kBufferAck = 6,
+
+  kCall = 10,
+  kReply = 11,
+  kPrepare = 12,
+  kPrepareReply = 13,
+  kCommit = 14,
+  kCommitDone = 15,
+  kAbort = 16,
+  kAbortSub = 17,
+  kQuery = 18,
+  kQueryReply = 19,
+
+  kProbe = 20,
+  kProbeReply = 21,
+  kBeginTxn = 22,
+  kBeginTxnReply = 23,
+  kCommitReq = 24,
+  kCommitReqReply = 25,
+  kAbortReq = 26,
+};
+
+const char* MsgTypeName(MsgType t);
+
+// ---------------------------------------------------------------------------
+// Failure detection & view change
+// ---------------------------------------------------------------------------
+
+struct PingMsg {
+  static constexpr MsgType kType = MsgType::kPing;
+  GroupId group = 0;
+  Mid from = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    w.U32(from);
+  }
+  static PingMsg Decode(wire::Reader& r) {
+    PingMsg m;
+    m.group = r.U64();
+    m.from = r.U32();
+    return m;
+  }
+};
+
+struct InviteMsg {
+  static constexpr MsgType kType = MsgType::kInvite;
+  GroupId group = 0;
+  ViewId new_viewid;
+  Mid from = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    new_viewid.Encode(w);
+    w.U32(from);
+  }
+  static InviteMsg Decode(wire::Reader& r) {
+    InviteMsg m;
+    m.group = r.U64();
+    m.new_viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    return m;
+  }
+};
+
+struct AcceptMsg {
+  static constexpr MsgType kType = MsgType::kAccept;
+  GroupId group = 0;
+  // The viewid of the invitation being accepted.
+  ViewId invite_viewid;
+  Mid from = 0;
+  // True for a "crash-accept" (§4): the cohort recovered from a crash and
+  // its gstate is gone; it reports only the viewid it remembers from stable
+  // storage.
+  bool crashed = false;
+  // Normal acceptance: the cohort's current viewstamp and whether it is the
+  // primary of that viewstamp's view.
+  Viewstamp last_vs;
+  bool was_primary = false;
+  // Crash acceptance: cur_viewid recovered from stable storage.
+  ViewId crash_viewid;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    invite_viewid.Encode(w);
+    w.U32(from);
+    w.Bool(crashed);
+    last_vs.Encode(w);
+    w.Bool(was_primary);
+    crash_viewid.Encode(w);
+  }
+  static AcceptMsg Decode(wire::Reader& r) {
+    AcceptMsg m;
+    m.group = r.U64();
+    m.invite_viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.crashed = r.Bool();
+    m.last_vs = Viewstamp::Decode(r);
+    m.was_primary = r.Bool();
+    m.crash_viewid = ViewId::Decode(r);
+    return m;
+  }
+};
+
+struct InitViewMsg {
+  static constexpr MsgType kType = MsgType::kInitView;
+  GroupId group = 0;
+  ViewId viewid;
+  View view;
+  Mid from = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    view.Encode(w);
+    w.U32(from);
+  }
+  static InitViewMsg Decode(wire::Reader& r) {
+    InitViewMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.view = View::Decode(r);
+    m.from = r.U32();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Communication buffer replication
+// ---------------------------------------------------------------------------
+
+struct BufferBatchMsg {
+  static constexpr MsgType kType = MsgType::kBufferBatch;
+  GroupId group = 0;
+  ViewId viewid;
+  Mid from = 0;
+  // Contiguous run of event records, in timestamp order.
+  std::vector<EventRecord> events;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U32(from);
+    w.Vector(events, [&](const EventRecord& e) { e.Encode(w); });
+  }
+  static BufferBatchMsg Decode(wire::Reader& r) {
+    BufferBatchMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.events = r.Vector<EventRecord>([&] { return EventRecord::Decode(r); });
+    return m;
+  }
+};
+
+struct BufferAckMsg {
+  static constexpr MsgType kType = MsgType::kBufferAck;
+  GroupId group = 0;
+  ViewId viewid;
+  Mid from = 0;
+  // Highest contiguously applied timestamp in `viewid`.
+  std::uint64_t ts = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U32(from);
+    w.U64(ts);
+  }
+  static BufferAckMsg Decode(wire::Reader& r) {
+    BufferAckMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.ts = r.U64();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Remote calls
+// ---------------------------------------------------------------------------
+
+struct CallMsg {
+  static constexpr MsgType kType = MsgType::kCall;
+  GroupId group = 0;  // destination group
+  ViewId viewid;      // client's cached viewid for the group (Fig. 2 step 1)
+  // Correlation id for the reply (unique per sender).
+  std::uint64_t call_id = 0;
+  // Duplicate-suppression key, unique per (sub_aid, call_seq) — the
+  // "connection information" §3.1 assumes of the message delivery system.
+  // High 32 bits are the caller's mid so client- and server-originated
+  // (nested) calls of one subaction never collide.
+  std::uint64_t call_seq = 0;
+  Mid reply_to = 0;
+  SubAid sub_aid;
+  // Subactions of this transaction the caller knows to be aborted (§3.6).
+  // Their abort-sub messages are best-effort, so the retry carries the list:
+  // the server discards their tentative versions before running this call,
+  // otherwise the new attempt could read the dead attempt's writes.
+  std::vector<std::uint32_t> dead_subs;
+  std::string proc;
+  std::vector<std::uint8_t> args;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U64(call_id);
+    w.U64(call_seq);
+    w.U32(reply_to);
+    sub_aid.Encode(w);
+    w.Vector(dead_subs, [&](std::uint32_t s) { w.U32(s); });
+    w.String(proc);
+    w.Bytes(args);
+  }
+  static CallMsg Decode(wire::Reader& r) {
+    CallMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.call_id = r.U64();
+    m.call_seq = r.U64();
+    m.reply_to = r.U32();
+    m.sub_aid = SubAid::Decode(r);
+    m.dead_subs = r.Vector<std::uint32_t>([&] { return r.U32(); });
+    m.proc = r.String();
+    m.args = r.Bytes();
+    return m;
+  }
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  // The call's viewid is stale; new view info attached when known (Fig. 3
+  // step 1, "rejection message containing the new viewid and view").
+  kWrongView = 1,
+  // The procedure raised an application error or could not acquire locks;
+  // the transaction must abort.
+  kFailed = 2,
+};
+
+struct ReplyMsg {
+  static constexpr MsgType kType = MsgType::kReply;
+  std::uint64_t call_id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  std::vector<std::uint8_t> result;
+  Pset pset;
+  bool view_known = false;
+  ViewId new_viewid;
+  View new_view;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(call_id);
+    w.U8(static_cast<std::uint8_t>(status));
+    w.Bytes(result);
+    w.Vector(pset, [&](const PsetEntry& e) { e.Encode(w); });
+    w.Bool(view_known);
+    new_viewid.Encode(w);
+    new_view.Encode(w);
+  }
+  static ReplyMsg Decode(wire::Reader& r) {
+    ReplyMsg m;
+    m.call_id = r.U64();
+    std::uint8_t s = r.U8();
+    if (s > 2) r.MarkBad();
+    m.status = static_cast<ReplyStatus>(s);
+    m.result = r.Bytes();
+    m.pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    m.view_known = r.Bool();
+    m.new_viewid = ViewId::Decode(r);
+    m.new_view = View::Decode(r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Two-phase commit
+// ---------------------------------------------------------------------------
+
+struct PrepareMsg {
+  static constexpr MsgType kType = MsgType::kPrepare;
+  GroupId group = 0;  // destination (participant) group
+  Aid aid;
+  Pset pset;
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    aid.Encode(w);
+    w.Vector(pset, [&](const PsetEntry& e) { e.Encode(w); });
+    w.U32(reply_to);
+  }
+  static PrepareMsg Decode(wire::Reader& r) {
+    PrepareMsg m;
+    m.group = r.U64();
+    m.aid = Aid::Decode(r);
+    m.pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+enum class PrepareStatus : std::uint8_t {
+  kPrepared = 0,
+  // The participant refuses: some of the transaction's events did not
+  // survive a view change (compatible() failed) or the force failed.
+  kRefused = 1,
+  // The receiving cohort is not an active primary; current view info is
+  // attached when known so the coordinator can retry at the right cohort
+  // (§3.3: rejections carry "information about the current viewid and
+  // primary if the cohort knows them").
+  kWrongPrimary = 2,
+};
+
+struct PrepareReplyMsg {
+  static constexpr MsgType kType = MsgType::kPrepareReply;
+  Aid aid;
+  GroupId from_group = 0;
+  PrepareStatus status = PrepareStatus::kRefused;
+  // True iff the transaction held only read locks at this participant; such
+  // participants are excluded from phase two (Fig. 2 step 2).
+  bool read_only = false;
+  bool view_known = false;
+  ViewId new_viewid;
+  View new_view;
+
+  void Encode(wire::Writer& w) const {
+    aid.Encode(w);
+    w.U64(from_group);
+    w.U8(static_cast<std::uint8_t>(status));
+    w.Bool(read_only);
+    w.Bool(view_known);
+    new_viewid.Encode(w);
+    new_view.Encode(w);
+  }
+  static PrepareReplyMsg Decode(wire::Reader& r) {
+    PrepareReplyMsg m;
+    m.aid = Aid::Decode(r);
+    m.from_group = r.U64();
+    std::uint8_t s = r.U8();
+    if (s > 2) r.MarkBad();
+    m.status = static_cast<PrepareStatus>(s);
+    m.read_only = r.Bool();
+    m.view_known = r.Bool();
+    m.new_viewid = ViewId::Decode(r);
+    m.new_view = View::Decode(r);
+    return m;
+  }
+};
+
+struct CommitMsg {
+  static constexpr MsgType kType = MsgType::kCommit;
+  GroupId group = 0;
+  Aid aid;
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    aid.Encode(w);
+    w.U32(reply_to);
+  }
+  static CommitMsg Decode(wire::Reader& r) {
+    CommitMsg m;
+    m.group = r.U64();
+    m.aid = Aid::Decode(r);
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+struct CommitDoneMsg {
+  static constexpr MsgType kType = MsgType::kCommitDone;
+  Aid aid;
+  GroupId from_group = 0;
+  // Redirect: the receiver was not an active primary (see PrepareStatus).
+  bool wrong_primary = false;
+  bool view_known = false;
+  ViewId new_viewid;
+  View new_view;
+
+  void Encode(wire::Writer& w) const {
+    aid.Encode(w);
+    w.U64(from_group);
+    w.Bool(wrong_primary);
+    w.Bool(view_known);
+    new_viewid.Encode(w);
+    new_view.Encode(w);
+  }
+  static CommitDoneMsg Decode(wire::Reader& r) {
+    CommitDoneMsg m;
+    m.aid = Aid::Decode(r);
+    m.from_group = r.U64();
+    m.wrong_primary = r.Bool();
+    m.view_known = r.Bool();
+    m.new_viewid = ViewId::Decode(r);
+    m.new_view = View::Decode(r);
+    return m;
+  }
+};
+
+struct AbortMsg {
+  static constexpr MsgType kType = MsgType::kAbort;
+  GroupId group = 0;
+  Aid aid;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    aid.Encode(w);
+  }
+  static AbortMsg Decode(wire::Reader& r) {
+    AbortMsg m;
+    m.group = r.U64();
+    m.aid = Aid::Decode(r);
+    return m;
+  }
+};
+
+struct AbortSubMsg {
+  static constexpr MsgType kType = MsgType::kAbortSub;
+  GroupId group = 0;
+  SubAid sub_aid;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    sub_aid.Encode(w);
+  }
+  static AbortSubMsg Decode(wire::Reader& r) {
+    AbortSubMsg m;
+    m.group = r.U64();
+    m.sub_aid = SubAid::Decode(r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Outcome queries (§3.4)
+// ---------------------------------------------------------------------------
+
+enum class TxnOutcome : std::uint8_t {
+  kUnknown = 0,
+  kActive = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+struct QueryMsg {
+  static constexpr MsgType kType = MsgType::kQuery;
+  Aid aid;
+  Mid reply_to = 0;
+  GroupId reply_group = 0;
+
+  void Encode(wire::Writer& w) const {
+    aid.Encode(w);
+    w.U32(reply_to);
+    w.U64(reply_group);
+  }
+  static QueryMsg Decode(wire::Reader& r) {
+    QueryMsg m;
+    m.aid = Aid::Decode(r);
+    m.reply_to = r.U32();
+    m.reply_group = r.U64();
+    return m;
+  }
+};
+
+struct QueryReplyMsg {
+  static constexpr MsgType kType = MsgType::kQueryReply;
+  Aid aid;
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+
+  void Encode(wire::Writer& w) const {
+    aid.Encode(w);
+    w.U8(static_cast<std::uint8_t>(outcome));
+  }
+  static QueryReplyMsg Decode(wire::Reader& r) {
+    QueryReplyMsg m;
+    m.aid = Aid::Decode(r);
+    std::uint8_t o = r.U8();
+    if (o > 3) r.MarkBad();
+    m.outcome = static_cast<TxnOutcome>(o);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Primary location probes
+// ---------------------------------------------------------------------------
+
+struct ProbeMsg {
+  static constexpr MsgType kType = MsgType::kProbe;
+  GroupId group = 0;
+  std::uint64_t req_id = 0;
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    w.U64(req_id);
+    w.U32(reply_to);
+  }
+  static ProbeMsg Decode(wire::Reader& r) {
+    ProbeMsg m;
+    m.group = r.U64();
+    m.req_id = r.U64();
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+struct ProbeReplyMsg {
+  static constexpr MsgType kType = MsgType::kProbeReply;
+  GroupId group = 0;
+  std::uint64_t req_id = 0;
+  bool known = false;   // the replying cohort knows a current view
+  bool active = false;  // and that view is active at the replier
+  ViewId viewid;
+  View view;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    w.U64(req_id);
+    w.Bool(known);
+    w.Bool(active);
+    viewid.Encode(w);
+    view.Encode(w);
+  }
+  static ProbeReplyMsg Decode(wire::Reader& r) {
+    ProbeReplyMsg m;
+    m.group = r.U64();
+    m.req_id = r.U64();
+    m.known = r.Bool();
+    m.active = r.Bool();
+    m.viewid = ViewId::Decode(r);
+    m.view = View::Decode(r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator-server protocol for unreplicated clients (§3.5)
+// ---------------------------------------------------------------------------
+
+struct BeginTxnMsg {
+  static constexpr MsgType kType = MsgType::kBeginTxn;
+  GroupId group = 0;
+  ViewId viewid;
+  std::uint64_t req_id = 0;
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U64(req_id);
+    w.U32(reply_to);
+  }
+  static BeginTxnMsg Decode(wire::Reader& r) {
+    BeginTxnMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.req_id = r.U64();
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+struct BeginTxnReplyMsg {
+  static constexpr MsgType kType = MsgType::kBeginTxnReply;
+  std::uint64_t req_id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  Aid aid;
+  bool view_known = false;
+  ViewId new_viewid;
+  View new_view;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(req_id);
+    w.U8(static_cast<std::uint8_t>(status));
+    aid.Encode(w);
+    w.Bool(view_known);
+    new_viewid.Encode(w);
+    new_view.Encode(w);
+  }
+  static BeginTxnReplyMsg Decode(wire::Reader& r) {
+    BeginTxnReplyMsg m;
+    m.req_id = r.U64();
+    std::uint8_t s = r.U8();
+    if (s > 2) r.MarkBad();
+    m.status = static_cast<ReplyStatus>(s);
+    m.aid = Aid::Decode(r);
+    m.view_known = r.Bool();
+    m.new_viewid = ViewId::Decode(r);
+    m.new_view = View::Decode(r);
+    return m;
+  }
+};
+
+struct CommitReqMsg {
+  static constexpr MsgType kType = MsgType::kCommitReq;
+  GroupId group = 0;
+  ViewId viewid;
+  std::uint64_t req_id = 0;
+  Aid aid;
+  Pset pset;
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U64(req_id);
+    aid.Encode(w);
+    w.Vector(pset, [&](const PsetEntry& e) { e.Encode(w); });
+    w.U32(reply_to);
+  }
+  static CommitReqMsg Decode(wire::Reader& r) {
+    CommitReqMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.req_id = r.U64();
+    m.aid = Aid::Decode(r);
+    m.pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+struct CommitReqReplyMsg {
+  static constexpr MsgType kType = MsgType::kCommitReqReply;
+  std::uint64_t req_id = 0;
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(req_id);
+    w.U8(static_cast<std::uint8_t>(outcome));
+  }
+  static CommitReqReplyMsg Decode(wire::Reader& r) {
+    CommitReqReplyMsg m;
+    m.req_id = r.U64();
+    std::uint8_t o = r.U8();
+    if (o > 3) r.MarkBad();
+    m.outcome = static_cast<TxnOutcome>(o);
+    return m;
+  }
+};
+
+struct AbortReqMsg {
+  static constexpr MsgType kType = MsgType::kAbortReq;
+  GroupId group = 0;
+  Aid aid;
+  Pset pset;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    aid.Encode(w);
+    w.Vector(pset, [&](const PsetEntry& e) { e.Encode(w); });
+  }
+  static AbortReqMsg Decode(wire::Reader& r) {
+    AbortReqMsg m;
+    m.group = r.U64();
+    m.aid = Aid::Decode(r);
+    m.pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    return m;
+  }
+};
+
+// Serializes a message into a frame payload.
+template <typename M>
+std::vector<std::uint8_t> EncodeMsg(const M& m) {
+  wire::Writer w;
+  m.Encode(w);
+  return w.Take();
+}
+
+}  // namespace vsr::vr

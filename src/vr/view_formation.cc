@@ -1,0 +1,75 @@
+#include "vr/view_formation.h"
+
+#include <algorithm>
+
+namespace vsr::vr {
+
+std::optional<FormationResult> TryFormView(
+    const std::vector<Acceptance>& accepts, std::size_t config_size) {
+  const std::size_t majority = MajorityOf(config_size);
+  if (accepts.size() < majority) return std::nullopt;
+
+  std::size_t normal_count = 0;
+  bool have_crashed = false;
+  ViewId crash_viewid;
+  Viewstamp normal_max;
+  bool have_normal = false;
+  for (const Acceptance& a : accepts) {
+    if (a.crashed) {
+      have_crashed = true;
+      if (a.crash_viewid > crash_viewid) crash_viewid = a.crash_viewid;
+    } else {
+      ++normal_count;
+      if (!have_normal || a.last_vs > normal_max) normal_max = a.last_vs;
+      have_normal = true;
+    }
+  }
+  // With no normal acceptance there is no state to initialize the view from
+  // (all-crashed = the §4.2 catastrophe).
+  if (!have_normal) return std::nullopt;
+  const ViewId normal_viewid = normal_max.view;
+
+  int condition = 0;
+  if (have_crashed) {
+    if (normal_count >= majority) {
+      condition = 1;
+    } else if (crash_viewid < normal_viewid) {
+      condition = 2;
+    } else if (crash_viewid == normal_viewid) {
+      for (const Acceptance& a : accepts) {
+        if (!a.crashed && a.was_primary && a.last_vs.view == normal_viewid) {
+          condition = 3;
+        }
+      }
+      if (condition != 3) return std::nullopt;
+    } else {
+      return std::nullopt;  // crash_viewid > normal_viewid: information lost
+    }
+  }
+
+  // Primary selection: largest normal viewstamp; prefer the old primary of
+  // that view among ties; break remaining ties by lowest mid (determinism).
+  Mid primary = 0;
+  bool chosen = false;
+  bool chosen_was_primary = false;
+  for (const Acceptance& a : accepts) {
+    if (a.crashed || a.last_vs != normal_max) continue;
+    if (!chosen || (a.was_primary && !chosen_was_primary) ||
+        (a.was_primary == chosen_was_primary && a.from < primary)) {
+      primary = a.from;
+      chosen = true;
+      chosen_was_primary = a.was_primary;
+    }
+  }
+
+  FormationResult result;
+  result.condition = condition;
+  result.view.primary = primary;
+  for (const Acceptance& a : accepts) {
+    if (a.from != primary) result.view.backups.push_back(a.from);
+  }
+  std::sort(result.view.backups.begin(), result.view.backups.end());
+  return result;
+}
+
+}  // namespace vsr::vr

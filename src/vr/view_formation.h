@@ -1,0 +1,50 @@
+// The §4 view-formation decision as a pure function.
+//
+// "The correct rule for view formation is: a majority of cohorts have
+//  accepted and
+//    1. a majority of cohorts accepted normally, or
+//    2. crash-viewid < normal-viewid, or
+//    3. crash-viewid = normal-viewid and the primary of view normal-viewid
+//       has done a normal acceptance of the invitation."
+//
+// "If the view can be formed, the cohort returning the largest viewstamp
+//  (in a normal acceptance) is selected as the new primary; the old primary
+//  of that view is selected if possible, since this causes minimal
+//  disruption in the system."
+//
+// Extracted from the cohort so the conditions can be tested exhaustively in
+// isolation (tests/view_formation_test.cc sweeps them against a brute-force
+// oracle).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vr/types.h"
+
+namespace vsr::vr {
+
+// One cohort's response to an invitation (§4): normal acceptances carry the
+// cohort's current viewstamp and whether it was the primary of that
+// viewstamp's view; crash acceptances carry only the stable-storage viewid.
+struct Acceptance {
+  Mid from = 0;
+  bool crashed = false;
+  Viewstamp last_vs;        // normal only
+  bool was_primary = false; // normal only
+  ViewId crash_viewid;      // crashed only
+};
+
+struct FormationResult {
+  View view;
+  // Diagnostics for tests/telemetry: which condition admitted the crashed
+  // acceptances (0 = none present, 1..3 = the paper's conditions).
+  int condition = 0;
+};
+
+// Returns the formed view, or nullopt if formation must fail (and the
+// manager should retry later). `config_size` is the full configuration size.
+std::optional<FormationResult> TryFormView(
+    const std::vector<Acceptance>& accepts, std::size_t config_size);
+
+}  // namespace vsr::vr

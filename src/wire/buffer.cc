@@ -1,0 +1,31 @@
+#include "wire/buffer.h"
+
+#include <array>
+
+namespace vsr::wire {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> kTable = BuildCrcTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace vsr::wire

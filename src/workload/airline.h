@@ -1,0 +1,42 @@
+// Airline-reservation workload — the paper's own motivating example (§1):
+//
+//   "in airline reservation systems the failure of a single computer can
+//    prevent ticket sales for a considerable time, causing a loss of revenue
+//    and passenger goodwill."
+//
+// Each flight-inventory group manages seat counts per flight; itineraries
+// touching several flights (possibly in different groups/regions) book
+// atomically under one transaction: either every leg is reserved or none.
+//
+// Procedures on a flights group:
+//   add_flight "flight=seats"   create inventory
+//   reserve    "flight=n"       take n seats; fails the call if oversold
+//   release    "flight=n"       give n seats back
+//   seats      "flight"         read remaining seats
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/cluster.h"
+#include "core/cohort.h"
+
+namespace vsr::workload {
+
+void RegisterAirlineProcs(client::Cluster& cluster, vr::GroupId group);
+
+struct ItineraryLeg {
+  vr::GroupId region;  // the flights group holding this leg's inventory
+  std::string flight;
+  int seats = 1;
+};
+
+// Books every leg atomically (multi-group 2PC). The transaction aborts if
+// any leg is oversold.
+core::TxnBody MakeBookingTxn(std::vector<ItineraryLeg> legs);
+
+// Remaining committed seats for a flight, read at the region's primary.
+long long CommittedSeats(client::Cluster& cluster, vr::GroupId region,
+                         const std::string& flight);
+
+}  // namespace vsr::workload

@@ -1,0 +1,36 @@
+// Bank workload: accounts with deposits, withdrawals and cross-group
+// transfers — the standard transactional exercise for the protocol, and the
+// source of the invariant the examples audit (total balance is conserved by
+// transfers).
+//
+// Procedures registered on a bank group:
+//   open      "acct=amount"  create an account with an initial balance
+//   deposit   "acct=amount"  add
+//   withdraw  "acct=amount"  subtract; fails the call (→ txn abort) if the
+//                            balance would go negative
+//   balance   "acct"         read
+#pragma once
+
+#include <string>
+
+#include "client/cluster.h"
+#include "core/cohort.h"
+
+namespace vsr::workload {
+
+void RegisterBankProcs(client::Cluster& cluster, vr::GroupId group);
+
+// Sums the committed balances of accounts "a0".."a<n-1>" at the group's
+// primary (for audits in tests/examples).
+long long CommittedBankTotal(client::Cluster& cluster, vr::GroupId group,
+                             int num_accounts);
+
+// Transaction bodies (run at a client group's primary).
+core::TxnBody MakeDepositTxn(vr::GroupId bank, std::string acct, long long amt);
+// Transfers between two accounts that may live in different bank groups —
+// the two-participant 2PC case.
+core::TxnBody MakeTransferTxn(vr::GroupId from_bank, std::string from_acct,
+                              vr::GroupId to_bank, std::string to_acct,
+                              long long amt);
+
+}  // namespace vsr::workload

@@ -1,0 +1,84 @@
+// Declarative failure schedules: crash/recover/partition/heal actions at
+// absolute simulated times, armed onto a cluster's scheduler. Used by the
+// availability bench (E7) and the partition-drill example.
+#pragma once
+
+#include <vector>
+
+#include "client/cluster.h"
+
+namespace vsr::workload {
+
+struct FailureEvent {
+  enum class Kind { kCrash, kRecover, kPartition, kHeal } kind;
+  sim::Time at = 0;
+  // kCrash / kRecover
+  vr::GroupId group = 0;
+  std::size_t index = 0;
+  // kPartition
+  std::vector<std::vector<net::NodeId>> sides;
+
+  static FailureEvent Crash(sim::Time at, vr::GroupId g, std::size_t idx) {
+    FailureEvent e{Kind::kCrash, at, g, idx, {}};
+    return e;
+  }
+  static FailureEvent Recover(sim::Time at, vr::GroupId g, std::size_t idx) {
+    FailureEvent e{Kind::kRecover, at, g, idx, {}};
+    return e;
+  }
+  static FailureEvent Partition(sim::Time at,
+                                std::vector<std::vector<net::NodeId>> sides) {
+    FailureEvent e{Kind::kPartition, at, 0, 0, std::move(sides)};
+    return e;
+  }
+  static FailureEvent Heal(sim::Time at) {
+    FailureEvent e{Kind::kHeal, at, 0, 0, {}};
+    return e;
+  }
+};
+
+// Schedules every event; the cluster must outlive the simulation run.
+inline void ArmFailureSchedule(client::Cluster& cluster,
+                               const std::vector<FailureEvent>& events) {
+  for (const FailureEvent& e : events) {
+    cluster.sim().scheduler().At(e.at, [&cluster, e] {
+      switch (e.kind) {
+        case FailureEvent::Kind::kCrash:
+          cluster.Crash(e.group, e.index);
+          break;
+        case FailureEvent::Kind::kRecover:
+          cluster.Recover(e.group, e.index);
+          break;
+        case FailureEvent::Kind::kPartition:
+          cluster.network().Partition(e.sides);
+          break;
+        case FailureEvent::Kind::kHeal:
+          cluster.network().Heal();
+          break;
+      }
+    });
+  }
+}
+
+// Generates a random crash/recover schedule for one group: each cohort
+// independently fails with MTTF/MTTR drawn from exponentials. Used by E7.
+inline std::vector<FailureEvent> RandomCrashSchedule(
+    sim::Rng& rng, vr::GroupId group, std::size_t replicas, sim::Time horizon,
+    double mttf_seconds, double mttr_seconds) {
+  std::vector<FailureEvent> out;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    sim::Time t = 0;
+    bool up = true;
+    while (true) {
+      const double mean = up ? mttf_seconds : mttr_seconds;
+      t += rng.Exponential(mean * sim::kSecond);
+      if (t >= horizon) break;
+      out.push_back(up ? FailureEvent::Crash(t, group, i)
+                       : FailureEvent::Recover(t, group, i));
+      up = !up;
+    }
+  }
+  return out;
+}
+
+}  // namespace vsr::workload

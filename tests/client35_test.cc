@@ -1,0 +1,183 @@
+// Tests for §3.5: unreplicated clients using a replicated coordinator-server.
+#include <gtest/gtest.h>
+
+#include "client/unreplicated_client.h"
+#include "tests/test_util.h"
+
+namespace vsr {
+namespace {
+
+using client::ClientTxn;
+using client::Cluster;
+using client::ClusterOptions;
+using client::UnreplicatedClient;
+
+struct World {
+  explicit World(std::uint64_t seed) : cluster(ClusterOptions{.seed = seed}) {
+    server = cluster.AddGroup("kv", 3);
+    coord = cluster.AddGroup("coord", 3);
+    test::RegisterKvProcs(cluster, server);
+    cluster.Start();
+  }
+  Cluster cluster;
+  vr::GroupId server;
+  vr::GroupId coord;
+};
+
+vr::TxnOutcome RunClientTxn(World& w, UnreplicatedClient& c,
+                            std::function<sim::Task<bool>(ClientTxn&)> body,
+                            sim::Duration deadline = 10 * sim::kSecond) {
+  vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  bool done = false;
+  c.Spawn(std::move(body), [&](vr::TxnOutcome o) {
+    outcome = o;
+    done = true;
+  });
+  const sim::Time end = w.cluster.sim().Now() + deadline;
+  while (!done && w.cluster.sim().Now() < end) {
+    w.cluster.RunFor(10 * sim::kMillisecond);
+  }
+  return outcome;
+}
+
+TEST(CoordinatorServer, ClientCommitsThroughIt) {
+  World w(41);
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  UnreplicatedClient c(w.cluster.sim(), w.cluster.network(),
+                       w.cluster.directory(), w.cluster.AllocateMid(), w.coord,
+                       core::CohortOptions{});
+
+  auto outcome = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("x=5"));
+    co_return true;
+  });
+  EXPECT_EQ(outcome, vr::TxnOutcome::kCommitted);
+  w.cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(w.cluster, w.server, "x"), "5");
+  EXPECT_EQ(c.stats().txns_committed, 1u);
+}
+
+TEST(CoordinatorServer, AbortDiscardsEffects) {
+  World w(42);
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  UnreplicatedClient c(w.cluster.sim(), w.cluster.network(),
+                       w.cluster.directory(), w.cluster.AllocateMid(), w.coord,
+                       core::CohortOptions{});
+  auto outcome = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("y=9"));
+    co_return false;  // client decides to abort
+  });
+  EXPECT_EQ(outcome, vr::TxnOutcome::kAborted);
+  w.cluster.RunFor(2 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(w.cluster, w.server, "y"), "");
+  // Locks released (possibly via the coordinator-server's abort or sweep):
+  // a new transaction gets through.
+  auto again = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("y=1"));
+    co_return true;
+  });
+  EXPECT_EQ(again, vr::TxnOutcome::kCommitted);
+}
+
+TEST(CoordinatorServer, VanishedClientIsSweptAndLocksFreed) {
+  World w(43);
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  {
+    // A client that begins a transaction, touches a key, then disappears
+    // without committing or aborting.
+    UnreplicatedClient ghost(w.cluster.sim(), w.cluster.network(),
+                             w.cluster.directory(), w.cluster.AllocateMid(),
+                             w.coord, core::CohortOptions{});
+    bool called = false;
+    ghost.Spawn([&](ClientTxn& t) -> sim::Task<bool> {
+      co_await t.Call(w.server, "put", std::string("z=ghost"));
+      called = true;
+      // Sleep forever (until destroyed): never commits.
+      co_await sim::Sleep(w.cluster.sim().scheduler(), 3600 * sim::kSecond);
+      co_return true;
+    });
+    while (!called) w.cluster.RunFor(10 * sim::kMillisecond);
+    // Destroying the client kills the suspended coroutine — the crash.
+  }
+  // §3.5: "if no reply is forthcoming, it can abort the transaction
+  // unilaterally." After the sweep the lock is free.
+  w.cluster.RunFor(5 * sim::kSecond);
+  UnreplicatedClient c(w.cluster.sim(), w.cluster.network(),
+                       w.cluster.directory(), w.cluster.AllocateMid(), w.coord,
+                       core::CohortOptions{});
+  auto outcome = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("z=real"));
+    co_return true;
+  });
+  EXPECT_EQ(outcome, vr::TxnOutcome::kCommitted);
+  w.cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(w.cluster, w.server, "z"), "real");
+}
+
+TEST(CoordinatorServer, SurvivesCoordinatorPrimaryCrash) {
+  World w(44);
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  UnreplicatedClient c(w.cluster.sim(), w.cluster.network(),
+                       w.cluster.directory(), w.cluster.AllocateMid(), w.coord,
+                       core::CohortOptions{});
+  // First transaction establishes the cache; then crash the coordinator
+  // primary and run another transaction — the client re-probes.
+  auto first = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("k=1"));
+    co_return true;
+  });
+  ASSERT_EQ(first, vr::TxnOutcome::kCommitted);
+  for (auto* co : w.cluster.Cohorts(w.coord)) {
+    if (co->IsActivePrimary()) {
+      co->Crash();
+      break;
+    }
+  }
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  auto second = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    co_await t.Call(w.server, "put", std::string("k=2"));
+    co_return true;
+  });
+  EXPECT_EQ(second, vr::TxnOutcome::kCommitted);
+  w.cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(w.cluster, w.server, "k"), "2");
+}
+
+TEST(CoordinatorServer, QueriesResolveThenDoneRecordGarbageCollects) {
+  World w(45);
+  ASSERT_TRUE(w.cluster.RunUntilStable());
+  UnreplicatedClient c(w.cluster.sim(), w.cluster.network(),
+                       w.cluster.directory(), w.cluster.AllocateMid(), w.coord,
+                       core::CohortOptions{});
+  vr::Aid aid{};
+  auto outcome = RunClientTxn(w, c, [&](ClientTxn& t) -> sim::Task<bool> {
+    aid = t.aid();
+    co_await t.Call(w.server, "put", std::string("q=1"));
+    co_return true;
+  });
+  ASSERT_EQ(outcome, vr::TxnOutcome::kCommitted);
+
+  // §3.1 GC contract: until the done record lands the coordinator group
+  // answers queries with the outcome; afterwards the entry is pruned.
+  // Either answer may race in here, but "aborted" must never appear.
+  vr::TxnOutcome queried = vr::TxnOutcome::kAborted;
+  bool done = false;
+  c.QueryOutcome(aid, [&](vr::TxnOutcome o) {
+    queried = o;
+    done = true;
+  });
+  while (!done) w.cluster.RunFor(10 * sim::kMillisecond);
+  EXPECT_NE(queried, vr::TxnOutcome::kAborted);
+
+  // After everything settles, the done record has garbage-collected the
+  // outcome at every coordinator cohort.
+  w.cluster.RunFor(3 * sim::kSecond);
+  for (auto* cohort : w.cluster.Cohorts(w.coord)) {
+    if (cohort->status() != core::Status::kActive) continue;
+    EXPECT_EQ(cohort->outcomes().Lookup(aid), vr::TxnOutcome::kUnknown)
+        << "cohort " << cohort->mid() << " still holds the outcome";
+  }
+}
+
+}  // namespace
+}  // namespace vsr

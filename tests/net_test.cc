@@ -1,0 +1,218 @@
+// Unit tests for the simulated network: delivery, loss, duplication,
+// corruption (CRC drop), partitions, node lifecycle, stats.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace vsr::net {
+namespace {
+
+class Recorder : public FrameHandler {
+ public:
+  void OnFrame(const Frame& frame) override { frames.push_back(frame); }
+  std::vector<Frame> frames;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(1) {}
+
+  std::unique_ptr<Network> Make(NetworkOptions o) {
+    auto n = std::make_unique<Network>(sim_, o);
+    n->Register(1, &a_);
+    n->Register(2, &b_);
+    n->Register(3, &c_);
+    return n;
+  }
+
+  sim::Simulation sim_;
+  Recorder a_, b_, c_;
+};
+
+TEST_F(NetworkTest, DeliversWithinDelayBounds) {
+  NetworkOptions o;
+  o.delay_min = 100;
+  o.delay_max = 200;
+  auto net = Make(o);
+  net->Send(1, 2, 7, {1, 2, 3});
+  sim_.scheduler().RunUntil(99);
+  EXPECT_TRUE(b_.frames.empty());
+  sim_.scheduler().RunUntil(201);
+  ASSERT_EQ(b_.frames.size(), 1u);
+  EXPECT_EQ(b_.frames[0].from, 1u);
+  EXPECT_EQ(b_.frames[0].type, 7u);
+  EXPECT_EQ(b_.frames[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, LossDropsRoughlyAtConfiguredRate) {
+  NetworkOptions o;
+  o.loss_probability = 0.3;
+  auto net = Make(o);
+  for (int i = 0; i < 2000; ++i) net->Send(1, 2, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_NEAR(static_cast<double>(b_.frames.size()) / 2000.0, 0.7, 0.05);
+  EXPECT_EQ(net->stats().dropped_loss + net->stats().frames_delivered, 2000u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  NetworkOptions o;
+  o.duplicate_probability = 1.0;
+  auto net = Make(o);
+  net->Send(1, 2, 0, {42});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(b_.frames.size(), 2u);
+  EXPECT_EQ(net->stats().duplicates_delivered, 1u);
+}
+
+TEST_F(NetworkTest, CorruptionIsDroppedByChecksum) {
+  NetworkOptions o;
+  o.corrupt_probability = 1.0;
+  auto net = Make(o);
+  for (int i = 0; i < 50; ++i) net->Send(1, 2, 0, {1, 2, 3, 4});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(b_.frames.empty());
+  EXPECT_EQ(net->stats().dropped_corrupt, 50u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  auto net = Make({});
+  net->Partition({{1, 2}, {3}});
+  net->Send(1, 2, 0, {});
+  net->Send(1, 3, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(b_.frames.size(), 1u);
+  EXPECT_TRUE(c_.frames.empty());
+  EXPECT_EQ(net->stats().dropped_partition, 1u);
+
+  net->Heal();
+  net->Send(1, 3, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(c_.frames.size(), 1u);
+}
+
+TEST_F(NetworkTest, NodeAbsentFromPartitionIsIsolated) {
+  auto net = Make({});
+  net->Partition({{1, 2}});  // 3 unmentioned → isolated
+  net->Send(1, 3, 0, {});
+  net->Send(3, 1, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(c_.frames.empty());
+  EXPECT_TRUE(a_.frames.empty());
+}
+
+TEST_F(NetworkTest, InFlightFramesLostWhenPartitionForms) {
+  NetworkOptions o;
+  o.delay_min = o.delay_max = 100;
+  auto net = Make(o);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunUntil(50);
+  net->Partition({{1}, {2, 3}});  // frame still in flight
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(b_.frames.empty());
+}
+
+TEST_F(NetworkTest, DownNodeReceivesNothing) {
+  auto net = Make({});
+  net->SetNodeUp(2, false);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(b_.frames.empty());
+  EXPECT_EQ(net->stats().dropped_node_down, 1u);
+  net->SetNodeUp(2, true);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(b_.frames.size(), 1u);
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightDropsAtDelivery) {
+  NetworkOptions o;
+  o.delay_min = o.delay_max = 100;
+  auto net = Make(o);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunUntil(50);
+  net->SetNodeUp(2, false);
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(b_.frames.empty());
+}
+
+TEST_F(NetworkTest, LoopbackBypassesLossAndPartition) {
+  NetworkOptions o;
+  o.loss_probability = 1.0;
+  auto net = Make(o);
+  net->Partition({{2, 3}});  // 1 isolated
+  net->Send(1, 1, 5, {9});
+  sim_.scheduler().RunToQuiescence();
+  ASSERT_EQ(a_.frames.size(), 1u);
+  EXPECT_EQ(a_.frames[0].type, 5u);
+}
+
+TEST_F(NetworkTest, LinkDownIsBidirectionalAndReversible) {
+  auto net = Make({});
+  net->SetLinkDown(1, 2, true);
+  EXPECT_FALSE(net->Reachable(1, 2));
+  EXPECT_FALSE(net->Reachable(2, 1));
+  EXPECT_TRUE(net->Reachable(1, 3));
+  net->SetLinkDown(1, 2, false);
+  EXPECT_TRUE(net->Reachable(1, 2));
+}
+
+TEST_F(NetworkTest, StatsCountByType) {
+  auto net = Make({});
+  net->Send(1, 2, 10, {});
+  net->Send(1, 2, 10, {});
+  net->Send(1, 2, 20, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(net->stats().sent_by_type.at(10), 2u);
+  EXPECT_EQ(net->stats().sent_by_type.at(20), 1u);
+  EXPECT_EQ(net->stats().frames_sent, 3u);
+}
+
+TEST_F(NetworkTest, JitterReordersDelivery) {
+  // With a wide delay range, later sends can overtake earlier ones — the
+  // out-of-order delivery the paper's network model allows (§1).
+  NetworkOptions o;
+  o.delay_min = 10;
+  o.delay_max = 2000;
+  auto net = Make(o);
+  for (int i = 0; i < 200; ++i) {
+    net->Send(1, 2, 0, {static_cast<std::uint8_t>(i)});
+  }
+  sim_.scheduler().RunToQuiescence();
+  ASSERT_EQ(b_.frames.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < b_.frames.size(); ++i) {
+    if (b_.frames[i].payload[0] < b_.frames[i - 1].payload[0]) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  // Two identically-seeded worlds produce identical delivery schedules.
+  auto run = [](std::uint64_t seed) {
+    sim::Simulation s(seed);
+    Recorder r1, r2;
+    NetworkOptions o;
+    o.loss_probability = 0.2;
+    o.duplicate_probability = 0.2;
+    Network n(s, o);
+    n.Register(1, &r1);
+    n.Register(2, &r2);
+    for (int i = 0; i < 200; ++i) {
+      n.Send(1, 2, static_cast<std::uint16_t>(i % 7), {static_cast<std::uint8_t>(i)});
+    }
+    s.scheduler().RunToQuiescence();
+    std::vector<std::uint8_t> digest;
+    for (const auto& f : r2.frames) {
+      digest.push_back(f.payload.empty() ? 0 : f.payload[0]);
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace vsr::net

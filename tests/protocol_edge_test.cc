@@ -1,0 +1,265 @@
+// Protocol edge cases the paper calls out explicitly:
+//  * several active primaries after a partition (§4.1) — safe because the
+//    stale one cannot force, hence cannot commit
+//  * lost abort messages recovered via queries (§3.4)
+//  * the §3.7 requirement to force completed-call records even for
+//    read-only participants — disabling it breaks two-phase locking across
+//    a view change (demonstrated, as an ablation)
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vsr {
+namespace {
+
+using client::Cluster;
+using client::ClusterOptions;
+using test::RegisterKvProcs;
+
+TEST(MultiPrimary, StalePrimaryStaysActiveButCannotCommit) {
+  Cluster cluster(ClusterOptions{.seed = 91});
+  auto kv = cluster.AddGroup("kv", 3);
+  auto agents_a = cluster.AddGroup("agents-a", 3);  // stranded with old primary
+  auto agents_b = cluster.AddGroup("agents-b", 3);  // on the majority side
+  RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  core::Cohort* old_primary = cluster.AnyPrimary(kv);
+  ASSERT_NE(old_primary, nullptr);
+  const vr::ViewId old_view = old_primary->cur_viewid();
+  // §4.1's premise: "the old primary is slow to notice the need for a view
+  // change and continues to respond to client requests even after the new
+  // view is formed."
+  old_primary->mutable_options().liveness_timeout = 60 * sim::kSecond;
+
+  // Partition: {old primary, agents-a} vs {both backups, agents-b}.
+  std::vector<net::NodeId> side_a{old_primary->mid()};
+  std::vector<net::NodeId> side_b;
+  for (auto* c : cluster.Cohorts(kv)) {
+    if (c != old_primary) side_b.push_back(c->mid());
+  }
+  for (auto* c : cluster.Cohorts(agents_a)) side_a.push_back(c->mid());
+  for (auto* c : cluster.Cohorts(agents_b)) side_b.push_back(c->mid());
+  cluster.network().Partition({side_a, side_b});
+
+  // Majority side forms a new view; give the failure detector time, but not
+  // so much that the stale primary notices (it cannot: its pings go nowhere,
+  // but receives nothing either — it eventually becomes a manager; sample
+  // while it is still active).
+  sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+  core::Cohort* new_primary = nullptr;
+  bool saw_dual_active = false;
+  while (cluster.sim().Now() < deadline) {
+    cluster.RunFor(10 * sim::kMillisecond);
+    new_primary = nullptr;
+    for (auto* c : cluster.Cohorts(kv)) {
+      if (c->IsActivePrimary() && c != old_primary &&
+          c->cur_viewid() > old_view) {
+        new_primary = c;
+      }
+    }
+    if (new_primary != nullptr && old_primary->IsActivePrimary() &&
+        old_primary->cur_viewid() == old_view) {
+      saw_dual_active = true;  // §4.1: "several active primaries"
+      break;
+    }
+  }
+  ASSERT_TRUE(saw_dual_active);
+
+  // The stale primary accepts a call but the transaction cannot commit:
+  // "The old primary will not be able to prepare and commit user
+  //  transactions, however, since it cannot force their effects" (§4.1).
+  auto stale = test::RunOneCall(cluster, agents_a, kv, "put", "stale=1",
+                                3 * sim::kSecond);
+  EXPECT_NE(stale, vr::TxnOutcome::kCommitted);
+
+  // Meanwhile the real primary commits fine.
+  auto fresh = test::RunOneCallWithRetry(cluster, agents_b, kv, "put", "ok=1");
+  EXPECT_EQ(fresh, vr::TxnOutcome::kCommitted);
+
+  cluster.network().Heal();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(2 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(cluster, kv, "stale"), "");
+  EXPECT_EQ(test::CommittedValue(cluster, kv, "ok"), "1");
+}
+
+TEST(Queries, LostAbortIsRecoveredByJanitor) {
+  // §3.4: "if the transaction aborts, we send abort messages to the
+  // participants, but do not guarantee they will arrive. Instead, a cohort
+  // that needs to know whether an abort occurred sends a query."
+  Cluster cluster(ClusterOptions{.seed = 92});
+  auto kv = cluster.AddGroup("kv", 3);
+  auto agents = cluster.AddGroup("agents", 3);
+  RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  core::Cohort* coord = cluster.AnyPrimary(agents);
+  core::Cohort* server_primary = cluster.AnyPrimary(kv);
+  ASSERT_NE(coord, nullptr);
+  ASSERT_NE(server_primary, nullptr);
+
+  // The transaction writes, thinks for 50ms, then aborts. We cut the
+  // coordinator-primary <-> server-primary link mid-think so the abort
+  // message is guaranteed lost.
+  sim::Scheduler* sched = &cluster.sim().scheduler();
+  bool done = false;
+  coord->SpawnTransaction(
+      [kv, sched](core::TxnHandle& h) -> sim::Task<bool> {
+        co_await h.Call(kv, "put", std::string("locked=1"));
+        co_await sim::Sleep(*sched, 50 * sim::kMillisecond);
+        co_return false;  // abort — but the abort message will be lost
+      },
+      [&](vr::TxnOutcome o) {
+        done = true;
+        EXPECT_EQ(o, vr::TxnOutcome::kAborted);
+      });
+  cluster.sim().scheduler().After(20 * sim::kMillisecond, [&] {
+    cluster.network().SetLinkDown(coord->mid(), server_primary->mid(), true);
+  });
+  while (!done) cluster.RunFor(5 * sim::kMillisecond);
+
+  // The write lock on "locked" is stranded at the server. The janitor
+  // queries the coordinator group (its backups are reachable and know the
+  // aborted outcome from the event record) and frees it.
+  cluster.RunFor(3 * sim::kSecond);
+  cluster.network().SetLinkDown(coord->mid(), server_primary->mid(), false);
+
+  auto outcome = test::RunOneCallWithRetry(cluster, agents, kv, "put",
+                                           "locked=2");
+  EXPECT_EQ(outcome, vr::TxnOutcome::kCommitted);
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(cluster, kv, "locked"), "2");
+}
+
+// The §3.7 ablation: "Even when a transaction only has read locks, we must
+// force the 'completed-call' records to the backups when preparing to ensure
+// that read locks are held across a view change. ... Without the force, the
+// prepare could succeed at the old primary even though the locks did not
+// survive. In essence, not doing the force is equivalent to not sending the
+// prepare message to a read-only participant; such prepare messages are
+// needed to prevent violations of two-phase locking."
+vr::TxnOutcome ReadOnlyAcrossPartition(bool force_read_only) {
+  ClusterOptions opts;
+  opts.seed = 93;
+  opts.cohort.force_read_only_prepare = force_read_only;
+  // Fixed one-way delay so the race window is deterministic: T1's reply
+  // (call + reply = 600us) must beat the partition, while the completed-call
+  // record (flush 500us after execution, delivered at ~1.1ms) must not.
+  opts.net.delay_min = opts.net.delay_max = 300 * sim::kMicrosecond;
+  Cluster cluster(opts);
+  auto kv = cluster.AddGroup("kv", 3);
+  auto agents_a = cluster.AddGroup("agents-a", 3);
+  auto agents_b = cluster.AddGroup("agents-b", 3);
+  RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  if (!cluster.RunUntilStable()) return vr::TxnOutcome::kUnknown;
+  if (test::RunOneCall(cluster, agents_b, kv, "put", "x=original") !=
+      vr::TxnOutcome::kCommitted) {
+    return vr::TxnOutcome::kUnknown;
+  }
+  // Prime agents-a's primary-location cache so T1's call needs no probe.
+  if (test::RunOneCall(cluster, agents_a, kv, "get", "x") !=
+      vr::TxnOutcome::kCommitted) {
+    return vr::TxnOutcome::kUnknown;
+  }
+  cluster.RunFor(300 * sim::kMillisecond);
+
+  core::Cohort* old_primary = cluster.AnyPrimary(kv);
+  // Slow to notice, as in §4.1.
+  old_primary->mutable_options().liveness_timeout = 60 * sim::kSecond;
+  sim::Scheduler* sched = &cluster.sim().scheduler();
+
+  // T1 (at agents-a): READ x, think 3s, then prepare/commit — a read-only
+  // participant at kv.
+  vr::TxnOutcome t1_outcome = vr::TxnOutcome::kUnknown;
+  bool t1_done = false;
+  cluster.AnyPrimary(agents_a)->SpawnTransaction(
+      [kv, sched](core::TxnHandle& h) -> sim::Task<bool> {
+        co_await h.Call(kv, "get", std::string("x"));
+        co_await sim::Sleep(*sched, 3 * sim::kSecond);
+        co_return true;
+      },
+      [&](vr::TxnOutcome o) {
+        t1_outcome = o;
+        t1_done = true;
+      });
+  // T1's read executes at ~600us and its reply arrives at ~900us; the
+  // completed-call record would reach the backups at ~1.4ms. Partition at
+  // 1ms: the read-lock record dies with the old side.
+  cluster.RunFor(1 * sim::kMillisecond);
+
+  // Partition: {old primary + agents-a} vs {backups + agents-b}.
+  std::vector<net::NodeId> side_a{old_primary->mid()};
+  std::vector<net::NodeId> side_b;
+  for (auto* c : cluster.Cohorts(kv)) {
+    if (c != old_primary) side_b.push_back(c->mid());
+  }
+  for (auto* c : cluster.Cohorts(agents_a)) side_a.push_back(c->mid());
+  for (auto* c : cluster.Cohorts(agents_b)) side_b.push_back(c->mid());
+  cluster.network().Partition({side_a, side_b});
+
+  // Majority side elects a new primary where T1's read lock never existed;
+  // T2 writes x and commits — conflicting with T1's (lost) read lock.
+  cluster.RunFor(1500 * sim::kMillisecond);
+  EXPECT_EQ(test::RunOneCallWithRetry(cluster, agents_b, kv, "put",
+                                      "x=overwritten"),
+            vr::TxnOutcome::kCommitted);
+
+  // T1 now prepares at the STALE primary.
+  const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+  while (!t1_done && cluster.sim().Now() < deadline) {
+    cluster.RunFor(10 * sim::kMillisecond);
+  }
+  cluster.network().Heal();
+  return t1_outcome;
+}
+
+TEST(Ablation, ReadOnlyPrepareForceIsRequiredForTwoPhaseLocking) {
+  // With the force (the paper's design): the stale primary cannot reach a
+  // sub-majority, the prepare is refused, T1 aborts — SAFE.
+  EXPECT_EQ(ReadOnlyAcrossPartition(/*force_read_only=*/true),
+            vr::TxnOutcome::kAborted);
+  // Without it (the ablation): the stale primary answers prepared from its
+  // own state, T1 commits concurrently with T2's conflicting write — the
+  // 2PL violation the paper warns about.
+  EXPECT_EQ(ReadOnlyAcrossPartition(/*force_read_only=*/false),
+            vr::TxnOutcome::kCommitted);
+}
+
+TEST(Dedup, RetransmittedCallIsAnsweredNotReExecuted) {
+  // Heavy duplication: every call frame is delivered twice. Executions must
+  // not double: run read-modify-write increments and verify the counter
+  // equals the commit count exactly.
+  ClusterOptions opts;
+  opts.seed = 94;
+  opts.net.duplicate_probability = 1.0;  // worst case
+  Cluster cluster(opts);
+  auto kv = cluster.AddGroup("kv", 3);
+  auto agents = cluster.AddGroup("agents", 3);
+  RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (test::RunOneCall(cluster, agents, kv, "add", "ctr=1") ==
+        vr::TxnOutcome::kCommitted) {
+      ++committed;
+    }
+  }
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(test::CommittedValue(cluster, kv, "ctr"),
+            std::to_string(committed));
+  // And duplicates actually hit the suppression path.
+  std::uint64_t suppressed = 0;
+  for (auto* c : cluster.Cohorts(kv)) {
+    suppressed += c->stats().duplicate_calls_suppressed;
+  }
+  EXPECT_GT(suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace vsr

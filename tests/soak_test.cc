@@ -1,0 +1,205 @@
+// Soak test: long randomized runs over MULTIPLE server groups with
+// multi-call transactions, full fault injection, and per-register
+// serializability chains. Heavier than stress_test (which tortures one
+// group); this exercises cross-group 2PC under chaos.
+#include <gtest/gtest.h>
+
+#include "check/invariants.h"
+#include "check/serial.h"
+#include "tests/test_util.h"
+
+namespace vsr {
+namespace {
+
+using client::Cluster;
+using client::ClusterOptions;
+
+struct SoakParams {
+  std::uint64_t seed;
+  int rounds;
+  double loss;
+  bool nested;
+};
+
+void PrintTo(const SoakParams& p, std::ostream* os) {
+  *os << "seed" << p.seed << "_r" << p.rounds << "_loss" << p.loss
+      << (p.nested ? "_nested" : "");
+}
+
+class SoakTest : public ::testing::TestWithParam<SoakParams> {};
+
+TEST_P(SoakTest, CrossGroupSerializableUnderChaos) {
+  const SoakParams p = GetParam();
+  ClusterOptions opts;
+  opts.seed = p.seed;
+  opts.net.loss_probability = p.loss;
+  opts.net.duplicate_probability = p.loss;
+  opts.cohort.nested_call_retry = p.nested;
+  Cluster cluster(opts);
+  sim::Rng rng(p.seed * 6151 + 11);
+
+  // Two register groups; each transaction does an RMW on one register in
+  // EACH group — a genuine two-participant distributed transaction whose
+  // two chains must stay mutually consistent.
+  auto ga = cluster.AddGroup("ga", 3);
+  auto gb = cluster.AddGroup("gb", 3);
+  auto client_g = cluster.AddGroup("client", 3);
+  for (auto g : {ga, gb}) {
+    cluster.RegisterProc(
+        g, "rmw",
+        [](core::ProcContext& ctx) -> sim::Task<std::vector<std::uint8_t>> {
+          auto prev = co_await ctx.ReadForUpdate("r");
+          co_await ctx.Write("r", ctx.ArgsAsString());
+          co_return test::Bytes(prev.value_or(""));
+        });
+  }
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  struct TxnRecord {
+    std::string value;
+    std::string prev_a, prev_b;
+    bool have_a = false, have_b = false;
+    bool resolved = false;
+    vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  };
+  std::vector<std::unique_ptr<TxnRecord>> txns;
+
+  std::map<vr::GroupId, std::vector<core::Cohort*>> groups{
+      {ga, cluster.Cohorts(ga)},
+      {gb, cluster.Cohorts(gb)},
+      {client_g, cluster.Cohorts(client_g)}};
+  bool partitioned = false;
+
+  auto safe_to_crash = [&](vr::GroupId g, std::size_t idx) {
+    core::Cohort* primary = cluster.AnyPrimary(g);
+    if (primary == nullptr) return false;
+    std::size_t healthy = 0;
+    const auto& cs = groups[g];
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i != idx && cs[i]->status() == core::Status::kActive &&
+          cs[i]->up_to_date() &&
+          cs[i]->cur_viewid() == primary->cur_viewid()) {
+        ++healthy;
+      }
+    }
+    return healthy >= vr::MajorityOf(cs.size());
+  };
+
+  for (int round = 0; round < p.rounds; ++round) {
+    const std::uint64_t dice = rng.UniformInt(0, 99);
+    if (dice < 50) {
+      core::Cohort* primary = cluster.AnyPrimary(client_g);
+      if (primary != nullptr) {
+        auto rec = std::make_unique<TxnRecord>();
+        rec->value = "v" + std::to_string(txns.size());
+        TxnRecord* raw = rec.get();
+        txns.push_back(std::move(rec));
+        primary->SpawnTransaction(
+            [raw, ga, gb](core::TxnHandle& h) -> sim::Task<bool> {
+              auto a = co_await h.Call(ga, "rmw", raw->value);
+              raw->prev_a = test::Str(a);
+              raw->have_a = true;
+              auto b = co_await h.Call(gb, "rmw", raw->value);
+              raw->prev_b = test::Str(b);
+              raw->have_b = true;
+              co_return true;
+            },
+            [raw](vr::TxnOutcome o) {
+              raw->resolved = true;
+              raw->outcome = o;
+            });
+      }
+    } else if (dice < 70) {
+      // Crash/recover a random cohort of a random group.
+      const vr::GroupId g = dice % 3 == 0 ? ga : (dice % 3 == 1 ? gb : client_g);
+      const auto& cs = groups[g];
+      const std::size_t idx = rng.Index(cs.size());
+      if (cs[idx]->status() == core::Status::kCrashed) {
+        cs[idx]->Recover();
+      } else if (safe_to_crash(g, idx)) {
+        cs[idx]->Crash();
+      }
+    } else if (dice < 80) {
+      if (!partitioned) {
+        std::vector<net::NodeId> side_a, side_b;
+        for (auto& [g, cs] : groups) {
+          for (auto* c : cs) {
+            (rng.Bernoulli(0.5) ? side_a : side_b).push_back(c->mid());
+          }
+        }
+        if (!side_a.empty() && !side_b.empty()) {
+          cluster.network().Partition({side_a, side_b});
+          partitioned = true;
+        }
+      } else {
+        cluster.network().Heal();
+        partitioned = false;
+      }
+    } else if (dice < 85) {
+      for (auto g : {ga, gb, client_g}) {
+        for (const std::string& v : check::CheckInstant(cluster, g)) {
+          ADD_FAILURE() << "round " << round << " group " << g << ": " << v;
+        }
+      }
+    }
+    cluster.RunFor(rng.UniformInt(5, 60) * sim::kMillisecond);
+  }
+
+  // Quiesce.
+  cluster.network().Heal();
+  for (auto& [g, cs] : groups) {
+    for (auto* c : cs) {
+      if (c->status() == core::Status::kCrashed) c->Recover();
+    }
+  }
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(15 * sim::kSecond);
+
+  // Each group's register must form a serial chain over the SAME set of
+  // committed transactions (atomic commitment: a transaction is in both
+  // chains or neither).
+  check::RegisterChainChecker chain_a, chain_b;
+  for (const auto& rec : txns) {
+    const vr::TxnOutcome o =
+        rec->resolved ? rec->outcome : vr::TxnOutcome::kUnknown;
+    if (o == vr::TxnOutcome::kCommitted) {
+      ASSERT_TRUE(rec->have_a && rec->have_b)
+          << "committed txn missing a call result";
+      chain_a.NoteCommitted(rec->prev_a, rec->value);
+      chain_b.NoteCommitted(rec->prev_b, rec->value);
+    } else if (o == vr::TxnOutcome::kUnknown) {
+      if (rec->have_a) chain_a.NoteUnknown(rec->prev_a, rec->value);
+      if (rec->have_b) chain_b.NoteUnknown(rec->prev_b, rec->value);
+    }
+  }
+  core::Cohort* pa = cluster.AnyPrimary(ga);
+  core::Cohort* pb = cluster.AnyPrimary(gb);
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  std::string why;
+  EXPECT_TRUE(chain_a.Validate(
+      "", pa->objects().ReadCommitted("r").value_or(""), &why))
+      << "group A: " << why;
+  EXPECT_TRUE(chain_b.Validate(
+      "", pb->objects().ReadCommitted("r").value_or(""), &why))
+      << "group B: " << why;
+
+  for (auto g : {ga, gb, client_g}) {
+    for (const std::string& v : check::CheckQuiescent(cluster, g)) {
+      ADD_FAILURE() << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, SoakTest,
+    ::testing::Values(SoakParams{101, 1500, 0.00, false},
+                      SoakParams{102, 1500, 0.03, false},
+                      SoakParams{103, 1500, 0.03, true},
+                      SoakParams{104, 2000, 0.06, true},
+                      SoakParams{105, 2000, 0.08, false},
+                      SoakParams{106, 2500, 0.05, true}));
+
+}  // namespace
+}  // namespace vsr

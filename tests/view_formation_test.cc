@@ -1,0 +1,192 @@
+// Exhaustive and property tests of the §4 view-formation rule (the pure
+// function vr::TryFormView), including the paper's worked A/B/C example.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "vr/view_formation.h"
+
+namespace vsr::vr {
+namespace {
+
+Acceptance Normal(Mid from, ViewId view, std::uint64_t ts,
+                  bool was_primary = false) {
+  Acceptance a;
+  a.from = from;
+  a.last_vs = {view, ts};
+  a.was_primary = was_primary;
+  return a;
+}
+
+Acceptance Crashed(Mid from, ViewId viewid) {
+  Acceptance a;
+  a.from = from;
+  a.crashed = true;
+  a.crash_viewid = viewid;
+  return a;
+}
+
+TEST(ViewFormation, RequiresMajorityAcceptance) {
+  EXPECT_FALSE(TryFormView({Normal(1, {1, 1}, 5)}, 3).has_value());
+  EXPECT_TRUE(TryFormView({Normal(1, {1, 1}, 5), Normal(2, {1, 1}, 3)}, 3)
+                  .has_value());
+}
+
+TEST(ViewFormation, AllCrashedIsCatastrophe) {
+  EXPECT_FALSE(TryFormView({Crashed(1, {3, 1}), Crashed(2, {3, 1}),
+                            Crashed(3, {3, 1})},
+                           3)
+                   .has_value());
+}
+
+TEST(ViewFormation, Condition1MajorityNormal) {
+  // 2 normal + 1 crashed out of 3: crashed acceptance ignorable.
+  auto r = TryFormView(
+      {Normal(1, {2, 1}, 9, true), Normal(2, {2, 1}, 7), Crashed(3, {2, 1})},
+      3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 1);
+  EXPECT_EQ(r->view.primary, 1u);  // largest viewstamp
+  EXPECT_EQ(r->view.Size(), 3u);   // crashed cohort joins as backup
+}
+
+TEST(ViewFormation, Condition2CrashFromOlderView) {
+  // 1 normal (view 5) + 1 crashed (view 3) out of 3.
+  auto r = TryFormView({Normal(2, {5, 1}, 4), Crashed(3, {3, 1})}, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 2);
+  EXPECT_EQ(r->view.primary, 2u);
+}
+
+TEST(ViewFormation, Condition3PrimaryOfCrashView) {
+  // crash-viewid == normal-viewid; the normal acceptor IS the primary of
+  // that view ("the primary always knows at least as much as any backup").
+  auto r = TryFormView({Normal(1, {5, 1}, 9, /*was_primary=*/true),
+                        Crashed(2, {5, 1})},
+                       3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 3);
+  EXPECT_EQ(r->view.primary, 1u);
+
+  // Same shape but the normal acceptor was only a backup: it may be missing
+  // forced events the crashed cohort knew — must NOT form.
+  EXPECT_FALSE(TryFormView({Normal(1, {5, 1}, 9, /*was_primary=*/false),
+                            Crashed(2, {5, 1})},
+                           3)
+                   .has_value());
+}
+
+TEST(ViewFormation, CrashFromNewerViewBlocks) {
+  // The crashed cohort had seen view 7; the normal one only view 5: forced
+  // events of views 6..7 may exist that nobody present knows.
+  EXPECT_FALSE(
+      TryFormView({Normal(1, {5, 1}, 9, true), Crashed(2, {7, 2})}, 3)
+          .has_value());
+}
+
+TEST(ViewFormation, PaperExampleABC) {
+  // §4: view v1 = <primary: A, backups: {B, C}>. A committed a transaction,
+  // forcing its event records to B but not C; A crashed and recovered; a
+  // partition separated B. "In this case we cannot form a new view until
+  // the partition is repaired because A has lost information and there are
+  // forced events that C does not know."
+  const Mid A = 1, B = 2, C = 3;
+  const ViewId v1{1, A};
+  // A recovered: crash acceptance with viewid v1. C: normal backup of v1.
+  EXPECT_FALSE(TryFormView({Crashed(A, v1), Normal(C, v1, 5)}, 3).has_value());
+  // Partition repaired: B (who has the forced events, ts 9 > C's 5) joins.
+  auto r = TryFormView({Crashed(A, v1), Normal(C, v1, 5), Normal(B, v1, 9)}, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->view.primary, B);  // largest viewstamp wins
+}
+
+TEST(ViewFormation, PrefersOldPrimaryOnViewstampTie) {
+  // Old primary and a fully-caught-up backup share the max viewstamp; the
+  // old primary is chosen ("this causes minimal disruption").
+  auto r = TryFormView(
+      {Normal(5, {4, 5}, 7, /*was_primary=*/true), Normal(2, {4, 5}, 7)}, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->view.primary, 5u);
+}
+
+TEST(ViewFormation, DeterministicTieBreakByMid) {
+  auto r = TryFormView({Normal(4, {1, 1}, 0), Normal(2, {1, 1}, 0)}, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->view.primary, 2u);
+}
+
+// Property: TryFormView agrees with a direct transcription of the paper's
+// rule on random acceptance sets.
+class FormationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FormationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(FormationProperty, MatchesPaperRule) {
+  sim::Rng rng(GetParam() * 2903);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::size_t n = 3 + 2 * rng.Index(3);  // 3, 5, 7
+    const std::size_t responders = 1 + rng.Index(n);
+    std::vector<Acceptance> accepts;
+    for (std::size_t i = 0; i < responders; ++i) {
+      const Mid mid = static_cast<Mid>(i + 1);
+      if (rng.Bernoulli(0.35)) {
+        accepts.push_back(
+            Crashed(mid, {1 + rng.Index(4), static_cast<Mid>(1 + rng.Index(n))}));
+      } else {
+        accepts.push_back(Normal(
+            mid, {1 + rng.Index(4), static_cast<Mid>(1 + rng.Index(n))},
+            rng.Index(10), rng.Bernoulli(0.3)));
+      }
+    }
+    const auto result = TryFormView(accepts, n);
+
+    // Oracle: literal transcription of §4.
+    const std::size_t majority = MajorityOf(n);
+    bool expect_ok = accepts.size() >= majority;
+    std::size_t normal = 0;
+    bool any_crashed = false;
+    ViewId crash_vid;
+    Viewstamp norm_max;
+    bool have_normal = false;
+    for (const auto& a : accepts) {
+      if (a.crashed) {
+        any_crashed = true;
+        crash_vid = std::max(crash_vid, a.crash_viewid);
+      } else {
+        ++normal;
+        if (!have_normal || norm_max < a.last_vs) norm_max = a.last_vs;
+        have_normal = true;
+      }
+    }
+    if (!have_normal) expect_ok = false;
+    if (expect_ok && any_crashed) {
+      bool c1 = normal >= majority;
+      bool c2 = crash_vid < norm_max.view;
+      bool c3 = false;
+      if (crash_vid == norm_max.view) {
+        for (const auto& a : accepts) {
+          if (!a.crashed && a.was_primary && a.last_vs.view == norm_max.view) {
+            c3 = true;
+          }
+        }
+      }
+      expect_ok = c1 || c2 || c3;
+    }
+    ASSERT_EQ(result.has_value(), expect_ok) << "iter " << iter;
+    if (result) {
+      // The primary holds the maximum normal viewstamp.
+      bool primary_has_max = false;
+      for (const auto& a : accepts) {
+        if (!a.crashed && a.from == result->view.primary &&
+            a.last_vs == norm_max) {
+          primary_has_max = true;
+        }
+      }
+      EXPECT_TRUE(primary_has_max);
+      // The view contains every acceptor exactly once.
+      EXPECT_EQ(result->view.Size(), accepts.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsr::vr

@@ -1,0 +1,314 @@
+// Unit tests for the VR primitives: viewids/viewstamps, histories, psets
+// (compatible / vs_max), and the communication buffer with force-to.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "vr/comm_buffer.h"
+#include "vr/history.h"
+#include "vr/types.h"
+
+namespace vsr::vr {
+namespace {
+
+TEST(ViewIdOrder, TotalOrderByCounterThenMid) {
+  EXPECT_LT((ViewId{1, 5}), (ViewId{2, 1}));
+  EXPECT_LT((ViewId{2, 1}), (ViewId{2, 2}));
+  EXPECT_EQ((ViewId{3, 3}), (ViewId{3, 3}));
+  // Concurrent managers always produce distinct viewids: same counter,
+  // different mids.
+  EXPECT_NE((ViewId{4, 1}), (ViewId{4, 2}));
+}
+
+TEST(ViewstampOrder, LexicographicOnViewThenTs) {
+  EXPECT_LT((Viewstamp{{1, 1}, 99}), (Viewstamp{{2, 1}, 0}));
+  EXPECT_LT((Viewstamp{{2, 1}, 3}), (Viewstamp{{2, 1}, 4}));
+}
+
+TEST(Majority, Arithmetic) {
+  EXPECT_EQ(MajorityOf(1), 1u);
+  EXPECT_EQ(MajorityOf(2), 2u);
+  EXPECT_EQ(MajorityOf(3), 2u);
+  EXPECT_EQ(MajorityOf(5), 3u);
+  EXPECT_EQ(MajorityOf(7), 4u);
+  EXPECT_EQ(SubMajorityOf(3), 1u);
+  EXPECT_EQ(SubMajorityOf(5), 2u);
+  EXPECT_EQ(SubMajorityOf(1), 0u);
+}
+
+TEST(ViewMembership, ContainsAndSize) {
+  View v{1, {2, 3}};
+  EXPECT_TRUE(v.Contains(1));
+  EXPECT_TRUE(v.Contains(3));
+  EXPECT_FALSE(v.Contains(4));
+  EXPECT_EQ(v.Size(), 3u);
+  EXPECT_EQ(v.Members(), (std::vector<Mid>{1, 2, 3}));
+}
+
+TEST(History, KnowsImplementsPerViewPrefix) {
+  History h;
+  h.OpenView({1, 1});
+  h.Advance(5);
+  h.OpenView({2, 3});
+  h.Advance(2);
+
+  // "the cohort's state reflects event e from view v.id iff e's timestamp is
+  //  less than or equal to v.ts."
+  EXPECT_TRUE(h.Knows({{1, 1}, 5}));
+  EXPECT_TRUE(h.Knows({{1, 1}, 1}));
+  EXPECT_FALSE(h.Knows({{1, 1}, 6}));
+  EXPECT_TRUE(h.Knows({{2, 3}, 2}));
+  EXPECT_FALSE(h.Knows({{2, 3}, 3}));
+  EXPECT_FALSE(h.Knows({{3, 1}, 1}));  // unknown view
+  EXPECT_EQ(h.Latest(), (Viewstamp{{2, 3}, 2}));
+}
+
+TEST(History, EmptyHistoryReportsZeroViewstamp) {
+  History h;
+  EXPECT_TRUE(h.Empty());
+  EXPECT_EQ(h.Latest(), Viewstamp{});
+  EXPECT_FALSE(h.Knows({{0, 0}, 1}));
+}
+
+TEST(History, RoundTrip) {
+  History h;
+  h.OpenView({1, 2});
+  h.Advance(7);
+  h.OpenView({4, 1});
+  wire::Writer w;
+  h.Encode(w);
+  auto bytes = w.Take();
+  wire::Reader r(bytes);
+  History out = History::Decode(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out.entries(), h.entries());
+}
+
+TEST(Pset, CompatibleRequiresAllEntriesCovered) {
+  History h;
+  h.OpenView({1, 1});
+  h.Advance(10);
+
+  Pset ps{{5, {{1, 1}, 7}, 0}, {5, {{1, 1}, 10}, 0}};
+  EXPECT_TRUE(Compatible(ps, 5, h));
+
+  ps.push_back({5, {{1, 1}, 11}, 0});  // beyond the history watermark
+  EXPECT_FALSE(Compatible(ps, 5, h));
+}
+
+TEST(Pset, CompatibleIgnoresOtherGroups) {
+  History h;
+  h.OpenView({1, 1});
+  h.Advance(1);
+  Pset ps{{9, {{8, 8}, 99}, 0}};  // entry for group 9, not 5
+  EXPECT_TRUE(Compatible(ps, 5, h));
+}
+
+TEST(Pset, CompatibleFailsAcrossLostView) {
+  // The participant's history skipped view {2,2} (events there were lost in
+  // a view change): entries from that view must fail the check.
+  History h;
+  h.OpenView({1, 1});
+  h.Advance(4);
+  h.OpenView({3, 1});
+  h.Advance(2);
+  Pset ps{{5, {{2, 2}, 1}, 0}};
+  EXPECT_FALSE(Compatible(ps, 5, h));
+}
+
+TEST(Pset, VsMaxPicksLargestForGroup) {
+  Pset ps{{5, {{1, 1}, 7}, 0}, {5, {{2, 1}, 3}, 0}, {6, {{9, 9}, 99}, 0}};
+  auto m = VsMax(ps, 5);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, (Viewstamp{{2, 1}, 3}));
+  EXPECT_FALSE(VsMax(ps, 7).has_value());
+}
+
+TEST(Pset, MergeDeduplicates) {
+  Pset a{{5, {{1, 1}, 1}, 0}};
+  Pset b{{5, {{1, 1}, 1}, 0}, {6, {{1, 1}, 2}, 0}};
+  MergePset(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Pset, EraseSubRemovesAttemptEverywhere) {
+  Pset ps{{5, {{1, 1}, 1}, 1}, {6, {{1, 1}, 2}, 1}, {5, {{1, 1}, 3}, 2}};
+  ErasePsetSub(ps, 1);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].sub, 2u);
+}
+
+TEST(Pset, GroupsExtractsDistinctParticipants) {
+  Pset ps{{5, {{1, 1}, 1}, 0}, {6, {{1, 1}, 2}, 0}, {5, {{1, 1}, 3}, 1}};
+  EXPECT_EQ(PsetGroups(ps), (std::vector<GroupId>{5, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Communication buffer
+// ---------------------------------------------------------------------------
+
+class CommBufferTest : public ::testing::Test {
+ protected:
+  CommBufferTest()
+      : sim_(1),
+        buffer_(
+            sim_, options_, [this](Mid to, const BufferBatchMsg& b) { sent_.emplace_back(to, b); },
+            [this] { ++force_failures_; }) {
+    history_.OpenView(viewid_);
+    buffer_.StartView(viewid_, {2, 3}, 3, /*group=*/1, /*self=*/1, &history_);
+  }
+
+  EventRecord Rec() { return EventRecord::Done(Aid{1, viewid_, 1}); }
+
+  void Ack(Mid from, std::uint64_t ts) {
+    BufferAckMsg a;
+    a.group = 1;
+    a.viewid = viewid_;
+    a.from = from;
+    a.ts = ts;
+    buffer_.OnAck(a);
+  }
+
+  CommBufferOptions options_;
+  sim::Simulation sim_;
+  ViewId viewid_{1, 1};
+  History history_;
+  std::vector<std::pair<Mid, BufferBatchMsg>> sent_;
+  int force_failures_ = 0;
+  CommBuffer buffer_;
+};
+
+TEST_F(CommBufferTest, AddAssignsIncreasingTimestampsAndAdvancesHistory) {
+  Viewstamp v1 = buffer_.Add(Rec());
+  Viewstamp v2 = buffer_.Add(Rec());
+  EXPECT_EQ(v1.ts, 1u);
+  EXPECT_EQ(v2.ts, 2u);
+  EXPECT_EQ(v1.view, viewid_);
+  EXPECT_EQ(history_.Latest().ts, 2u);
+}
+
+TEST_F(CommBufferTest, BackgroundFlushDeliversToAllBackups) {
+  buffer_.Add(Rec());
+  EXPECT_TRUE(sent_.empty());  // write ≠ send: background mode
+  sim_.scheduler().RunUntil(options_.flush_delay + 1);
+  ASSERT_GE(sent_.size(), 2u);
+  std::set<Mid> targets;
+  for (auto& [to, b] : sent_) targets.insert(to);
+  EXPECT_EQ(targets, (std::set<Mid>{2, 3}));
+}
+
+TEST_F(CommBufferTest, ForceCompletesOnSubMajorityAck) {
+  Viewstamp v = buffer_.Add(Rec());
+  bool done = false, ok = false;
+  buffer_.ForceTo(v, [&](bool o) {
+    done = true;
+    ok = o;
+  });
+  EXPECT_FALSE(done);  // no acks yet
+  Ack(2, 1);           // sub-majority of 3 is 1 backup
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(CommBufferTest, ForceForOtherViewReturnsImmediately) {
+  bool done = false, ok = false;
+  buffer_.ForceTo({{0, 9}, 5}, [&](bool o) {
+    done = true;
+    ok = o;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(CommBufferTest, ForceAlreadyStableIsImmediate) {
+  Viewstamp v = buffer_.Add(Rec());
+  Ack(2, 1);
+  bool done = false;
+  buffer_.ForceTo(v, [&](bool) { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(buffer_.stats().forces_immediate, 1u);
+}
+
+TEST_F(CommBufferTest, ForceTimesOutWithoutAcks) {
+  Viewstamp v = buffer_.Add(Rec());
+  bool done = false, ok = true;
+  buffer_.ForceTo(v, [&](bool o) {
+    done = true;
+    ok = o;
+  });
+  sim_.scheduler().RunUntil(options_.force_timeout * 2);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(force_failures_, 1);
+}
+
+TEST_F(CommBufferTest, StableTsIsKthHighestAck) {
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  EXPECT_EQ(buffer_.StableTs(), 0u);
+  Ack(2, 2);
+  EXPECT_EQ(buffer_.StableTs(), 2u);  // submajority=1: highest single ack
+  Ack(3, 3);
+  EXPECT_EQ(buffer_.StableTs(), 3u);
+}
+
+TEST_F(CommBufferTest, RetransmitsUnackedRecords) {
+  buffer_.Add(Rec());
+  sim_.scheduler().RunUntil(options_.retransmit_interval * 3);
+  // At least two transmissions to each backup (initial flush + retransmit).
+  int to_backup2 = 0;
+  for (auto& [to, b] : sent_) to_backup2 += to == 2 ? 1 : 0;
+  EXPECT_GE(to_backup2, 2);
+  // Acked backups stop receiving retransmissions.
+  sent_.clear();
+  Ack(2, 1);
+  Ack(3, 1);
+  sim_.scheduler().RunUntil(sim_.Now() + options_.retransmit_interval * 3);
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(CommBufferTest, BatchesStartAfterAckedPrefix) {
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  Ack(2, 1);
+  sent_.clear();
+  sim_.scheduler().RunUntil(sim_.Now() + options_.retransmit_interval + 1);
+  bool saw = false;
+  for (auto& [to, b] : sent_) {
+    if (to != 2) continue;
+    saw = true;
+    ASSERT_FALSE(b.events.empty());
+    EXPECT_EQ(b.events.front().ts, 2u);  // resumes after the acked prefix
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(CommBufferTest, StaleViewAcksIgnored) {
+  Viewstamp v = buffer_.Add(Rec());
+  BufferAckMsg stale;
+  stale.group = 1;
+  stale.viewid = {0, 7};  // wrong view
+  stale.from = 2;
+  stale.ts = 5;
+  buffer_.OnAck(stale);
+  bool done = false;
+  buffer_.ForceTo(v, [&](bool) { done = true; });
+  EXPECT_FALSE(done);
+}
+
+TEST_F(CommBufferTest, SingleCohortGroupForcesImmediately) {
+  History h1;
+  ViewId vid{2, 9};
+  h1.OpenView(vid);
+  CommBuffer solo(
+      sim_, options_, [](Mid, const BufferBatchMsg&) {}, [] {});
+  solo.StartView(vid, {}, 1, 1, 9, &h1);
+  Viewstamp v = solo.Add(EventRecord::Done(Aid{}));
+  bool ok = false;
+  solo.ForceTo(v, [&](bool o) { ok = o; });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace vsr::vr

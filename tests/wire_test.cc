@@ -1,0 +1,341 @@
+// Unit tests for serialization: writer/reader primitives, every protocol
+// message round-trip, truncation/corruption robustness, CRC32.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "vr/events.h"
+#include "vr/messages.h"
+#include "wire/buffer.h"
+
+namespace vsr {
+namespace {
+
+using wire::Crc32;
+using wire::Reader;
+using wire::Writer;
+
+TEST(Buffer, PrimitivesRoundTrip) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+  w.Bool(true);
+  w.Bool(false);
+  w.F64(3.14159);
+  w.String("hello");
+  auto bytes = w.Take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_DOUBLE_EQ(r.F64(), 3.14159);
+  EXPECT_EQ(r.String(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Buffer, LittleEndianLayout) {
+  Writer w;
+  w.U32(0x01020304);
+  auto bytes = w.Take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Buffer, TruncatedReadSetsStickyFailure) {
+  Writer w;
+  w.U32(7);
+  auto bytes = w.Take();
+  Reader r(bytes);
+  r.U64();  // needs 8 bytes, only 4 available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // still safe to call; returns zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, CorruptLengthPrefixDoesNotOverallocate) {
+  Writer w;
+  w.U32(0xffffffff);  // insane vector length
+  auto bytes = w.Take();
+  Reader r(bytes);
+  auto v = r.Vector<std::uint64_t>([&] { return r.U64(); });
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Buffer, EmptyVectorAndBytes) {
+  Writer w;
+  w.Vector(std::vector<int>{}, [&](int) {});
+  w.Bytes({});
+  auto bytes = w.Take();
+  Reader r(bytes);
+  auto v = r.Vector<int>([&] { return static_cast<int>(r.U32()); });
+  auto b = r.Bytes();
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Crc, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (classic check value).
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc, DetectsSingleBitFlips) {
+  sim::Rng rng(3);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  const std::uint32_t orig = Crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 1;
+    EXPECT_NE(Crc32(data), orig) << "flip at byte " << i;
+    data[i] ^= 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol message round-trips
+// ---------------------------------------------------------------------------
+
+vr::Pset SamplePset() {
+  return {vr::PsetEntry{7, vr::Viewstamp{{3, 2}, 14}, 1},
+          vr::PsetEntry{9, vr::Viewstamp{{5, 1}, 2}, 0}};
+}
+
+vr::History SampleHistory() {
+  vr::History h;
+  h.OpenView({1, 3});
+  h.Advance(10);
+  h.OpenView({2, 1});
+  h.Advance(4);
+  return h;
+}
+
+template <typename M>
+M RoundTrip(const M& m) {
+  auto bytes = vr::EncodeMsg(m);
+  wire::Reader r(bytes);
+  M out = M::Decode(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  return out;
+}
+
+TEST(Messages, CallRoundTrip) {
+  vr::CallMsg m;
+  m.group = 42;
+  m.viewid = {7, 3};
+  m.call_id = 99;
+  m.call_seq = (5ull << 32) | 17;
+  m.reply_to = 11;
+  m.sub_aid = {vr::Aid{1, {2, 3}, 4}, 2};
+  m.proc = "transfer";
+  m.args = {1, 2, 3, 4};
+  auto out = RoundTrip(m);
+  EXPECT_EQ(out.group, m.group);
+  EXPECT_EQ(out.viewid, m.viewid);
+  EXPECT_EQ(out.call_id, m.call_id);
+  EXPECT_EQ(out.call_seq, m.call_seq);
+  EXPECT_EQ(out.sub_aid, m.sub_aid);
+  EXPECT_EQ(out.proc, m.proc);
+  EXPECT_EQ(out.args, m.args);
+}
+
+TEST(Messages, ReplyRoundTrip) {
+  vr::ReplyMsg m;
+  m.call_id = 5;
+  m.status = vr::ReplyStatus::kOk;
+  m.result = {9, 8, 7};
+  m.pset = SamplePset();
+  m.view_known = true;
+  m.new_viewid = {4, 2};
+  m.new_view = vr::View{1, {2, 3}};
+  auto out = RoundTrip(m);
+  EXPECT_EQ(out.pset, m.pset);
+  EXPECT_EQ(out.new_view, m.new_view);
+  EXPECT_EQ(out.result, m.result);
+}
+
+TEST(Messages, PrepareAndReplyRoundTrip) {
+  vr::PrepareMsg p;
+  p.group = 3;
+  p.aid = {1, {2, 2}, 9};
+  p.pset = SamplePset();
+  p.reply_to = 4;
+  auto out = RoundTrip(p);
+  EXPECT_EQ(out.aid, p.aid);
+  EXPECT_EQ(out.pset, p.pset);
+
+  vr::PrepareReplyMsg r;
+  r.aid = p.aid;
+  r.from_group = 3;
+  r.status = vr::PrepareStatus::kWrongPrimary;
+  r.read_only = true;
+  r.view_known = true;
+  r.new_viewid = {8, 1};
+  r.new_view = vr::View{2, {1}};
+  auto rout = RoundTrip(r);
+  EXPECT_EQ(rout.status, r.status);
+  EXPECT_TRUE(rout.read_only);
+  EXPECT_EQ(rout.new_view, r.new_view);
+}
+
+TEST(Messages, ViewChangeMessagesRoundTrip) {
+  vr::InviteMsg inv;
+  inv.group = 1;
+  inv.new_viewid = {12, 5};
+  inv.from = 5;
+  EXPECT_EQ(RoundTrip(inv).new_viewid, inv.new_viewid);
+
+  vr::AcceptMsg acc;
+  acc.group = 1;
+  acc.invite_viewid = {12, 5};
+  acc.from = 2;
+  acc.crashed = false;
+  acc.last_vs = {{11, 2}, 77};
+  acc.was_primary = true;
+  acc.crash_viewid = {9, 9};
+  auto aout = RoundTrip(acc);
+  EXPECT_EQ(aout.last_vs, acc.last_vs);
+  EXPECT_TRUE(aout.was_primary);
+
+  vr::InitViewMsg init;
+  init.group = 1;
+  init.viewid = {12, 5};
+  init.view = vr::View{2, {5, 7}};
+  init.from = 5;
+  EXPECT_EQ(RoundTrip(init).view, init.view);
+}
+
+TEST(Messages, BufferBatchWithEventsRoundTrip) {
+  vr::BufferBatchMsg b;
+  b.group = 6;
+  b.viewid = {3, 1};
+  b.from = 1;
+  vr::EventRecord completed = vr::EventRecord::CompletedCall(
+      {vr::Aid{6, {3, 1}, 2}, 0},
+      {vr::ObjectEffect{"x", vr::LockMode::kWrite, "42"},
+       vr::ObjectEffect{"y", vr::LockMode::kRead, std::nullopt}});
+  completed.ts = 2;
+  vr::EventRecord nv = vr::EventRecord::NewView(vr::View{1, {2, 3}},
+                                                SampleHistory(), {1, 2, 3});
+  nv.ts = 1;
+  b.events = {nv, completed};
+  auto out = RoundTrip(b);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].type, vr::EventType::kNewView);
+  EXPECT_EQ(out.events[0].view, nv.view);
+  EXPECT_EQ(out.events[0].gstate, nv.gstate);
+  EXPECT_EQ(out.events[1].effects, completed.effects);
+  EXPECT_EQ(out.events[1].ts, 2u);
+}
+
+TEST(Messages, QueryAndOutcomeRoundTrip) {
+  vr::QueryMsg q;
+  q.aid = {1, {2, 3}, 4};
+  q.reply_to = 9;
+  q.reply_group = 2;
+  EXPECT_EQ(RoundTrip(q).aid, q.aid);
+
+  vr::QueryReplyMsg qr;
+  qr.aid = q.aid;
+  qr.outcome = vr::TxnOutcome::kCommitted;
+  EXPECT_EQ(RoundTrip(qr).outcome, vr::TxnOutcome::kCommitted);
+}
+
+TEST(Messages, CoordinatorServerMessagesRoundTrip) {
+  vr::BeginTxnMsg b;
+  b.group = 2;
+  b.viewid = {1, 1};
+  b.req_id = 77;
+  b.reply_to = 30;
+  EXPECT_EQ(RoundTrip(b).req_id, 77u);
+
+  vr::CommitReqMsg c;
+  c.group = 2;
+  c.viewid = {1, 1};
+  c.req_id = 78;
+  c.aid = {2, {1, 1}, 5};
+  c.pset = SamplePset();
+  c.reply_to = 30;
+  auto cout_ = RoundTrip(c);
+  EXPECT_EQ(cout_.pset, c.pset);
+  EXPECT_EQ(cout_.aid, c.aid);
+}
+
+TEST(Messages, DecodeRejectsBadEnumTags) {
+  vr::ReplyMsg m;
+  m.status = vr::ReplyStatus::kOk;
+  auto bytes = vr::EncodeMsg(m);
+  bytes[8] = 0x77;  // status byte follows the u64 call_id
+  wire::Reader r(bytes);
+  (void)vr::ReplyMsg::Decode(r);
+  EXPECT_FALSE(r.ok());
+}
+
+// Fuzz: decoding random bytes must never crash and must flag failure for
+// truncated inputs.
+TEST(Messages, FuzzDecodeIsMemorySafe) {
+  sim::Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> junk(rng.UniformInt(0, 64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    wire::Reader r(junk);
+    switch (iter % 6) {
+      case 0:
+        (void)vr::CallMsg::Decode(r);
+        break;
+      case 1:
+        (void)vr::ReplyMsg::Decode(r);
+        break;
+      case 2:
+        (void)vr::BufferBatchMsg::Decode(r);
+        break;
+      case 3:
+        (void)vr::EventRecord::Decode(r);
+        break;
+      case 4:
+        (void)vr::AcceptMsg::Decode(r);
+        break;
+      case 5:
+        (void)vr::PrepareMsg::Decode(r);
+        break;
+    }
+  }
+  SUCCEED();
+}
+
+// Truncation fuzz: every strict prefix of a valid message must decode with
+// ok() == false (never crash, never silently succeed with short reads).
+TEST(Messages, EveryTruncationIsDetected) {
+  vr::BufferBatchMsg b;
+  b.group = 6;
+  b.viewid = {3, 1};
+  b.from = 1;
+  vr::EventRecord rec = vr::EventRecord::CompletedCall(
+      {vr::Aid{6, {3, 1}, 2}, 1},
+      {vr::ObjectEffect{"key", vr::LockMode::kWrite, "value"}});
+  rec.ts = 5;
+  b.events = {rec};
+  auto bytes = vr::EncodeMsg(b);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    wire::Reader r(prefix);
+    (void)vr::BufferBatchMsg::Decode(r);
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace vsr
