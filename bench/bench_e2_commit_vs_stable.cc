@@ -80,6 +80,58 @@ double ViewstampedStableDecisionLatency(sim::Duration force_latency,
   return decision.Mean();
 }
 
+// Windowed-replication efficiency in a 5-cohort steady state: how many
+// record transmissions the backups cost per committed transaction, and how
+// many of those were retransmissions (deadline expiry or gap fill) rather
+// than first sends.
+void ReplicationEfficiency(std::size_t replicas) {
+  ClusterOptions opts;
+  opts.seed = 2100 + replicas;
+  Cluster cluster(opts);
+  auto server = cluster.AddGroup("kv", replicas);
+  auto client_g = cluster.AddGroup("client", 3);
+  test::RegisterKvProcs(cluster, server);
+  cluster.Start();
+  if (!cluster.RunUntilStable()) return;
+  std::uint64_t committed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (test::RunOneCall(cluster, client_g, server, "add", "x=1") ==
+        vr::TxnOutcome::kCommitted) {
+      ++committed;
+    }
+  }
+  cluster.RunFor(1 * sim::kSecond);
+  vr::CommBuffer::Stats agg;
+  std::uint64_t commits_applied = 0;
+  for (auto* c : cluster.Cohorts(server)) {
+    const auto& s = c->buffer().stats();
+    agg.records_sent += s.records_sent;
+    agg.records_retransmitted += s.records_retransmitted;
+    agg.retransmit_timeouts += s.retransmit_timeouts;
+    agg.gap_requests += s.gap_requests;
+    agg.window_stalls += s.window_stalls;
+    agg.records_gced += s.records_gced;
+    agg.buffer_high_water = std::max(agg.buffer_high_water, s.buffer_high_water);
+    commits_applied += c->stats().commits_applied;
+  }
+  if (committed == 0) return;
+  bench::Row("    committed txns             : %8llu (%llu applied server-side)",
+             static_cast<unsigned long long>(committed),
+             static_cast<unsigned long long>(commits_applied));
+  bench::Row("    records sent to backups    : %8llu (%.2f per committed txn)",
+             static_cast<unsigned long long>(agg.records_sent),
+             static_cast<double>(agg.records_sent) / committed);
+  bench::Row("    records retransmitted      : %8llu (%.2f per committed txn)",
+             static_cast<unsigned long long>(agg.records_retransmitted),
+             static_cast<double>(agg.records_retransmitted) / committed);
+  bench::Row("    retransmit deadline expiry : %8llu", static_cast<unsigned long long>(agg.retransmit_timeouts));
+  bench::Row("    gap requests honored       : %8llu", static_cast<unsigned long long>(agg.gap_requests));
+  bench::Row("    window stalls              : %8llu", static_cast<unsigned long long>(agg.window_stalls));
+  bench::Row("    records GC'd below watermark %7llu (buffer high-water %llu)",
+             static_cast<unsigned long long>(agg.records_gced),
+             static_cast<unsigned long long>(agg.buffer_high_water));
+}
+
 double StableDecisionLatency(sim::Duration force_latency) {
   sim::Simulation simulation(2999);
   net::Network network(simulation, {});
@@ -124,6 +176,9 @@ int main() {
              vr3_think, static_cast<unsigned long long>(immediate_think));
   bench::Row("  VR (n=5)  decision latency: %8.0fus", vr5);
   bench::Row("  VR (n=7)  decision latency: %8.0fus", vr7);
+
+  bench::Row("\n  Windowed replication efficiency (n=5 steady state):");
+  ReplicationEfficiency(5);
 
   bench::Row("\n  Non-replicated decision latency vs stable-storage force time:");
   struct SweepPoint {

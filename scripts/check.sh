@@ -1,18 +1,47 @@
 #!/usr/bin/env bash
 # Full verification pipeline: build, test, regenerate every experiment, run
-# the examples. This is what CI would run.
+# the examples. This is what CI would run. Matches the tier-1 recipe:
+#   cmake -B build -S . && cmake --build build -j && ctest -j
+# Ninja is used when present but never required.
+#
+# CHECK_SANITIZE=1 additionally builds an ASan/UBSan tree (build-sanitize/)
+# and runs the replication-path test suites under it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+# Prefer Ninja for fresh build trees; an already-configured tree keeps its
+# generator (switching generators on an existing cache is a CMake error).
+generator_for() {
+  if [[ ! -f "$1/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+    echo "-G" "Ninja"
+  fi
+}
+
+cmake -B build -S . $(generator_for build)
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
+  echo "== sanitizers (ASan + UBSan) =="
+  cmake -B build-sanitize -S . $(generator_for build-sanitize) \
+    -DCMAKE_BUILD_TYPE=Debug -DVSR_SANITIZE=ON
+  cmake --build build-sanitize -j "$JOBS"
+  # The comm-buffer / replication-path suites, where the windowed protocol
+  # does pointer arithmetic over the GC'd record vector.
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test'
+fi
 
 echo "== experiments =="
-for b in build/bench/*; do "$b"; done
+for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] || continue  # skip CMake droppings
+  "$b"
+done
 
 echo "== examples =="
 for e in build/examples/*; do
+  [[ -f "$e" && -x "$e" ]] || continue
   echo "--- $(basename "$e")"
   "$e" > /dev/null && echo "    OK"
 done

@@ -105,6 +105,7 @@ void Cohort::ResetVolatileState() {
   max_viewid_ = ViewId{};
   accepts_.clear();
   pending_records_.clear();
+  batch_stash_.clear();
   applied_ts_ = 0;
   adopting_ = false;
   call_dedup_.clear();

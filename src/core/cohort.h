@@ -187,8 +187,14 @@ struct CohortStats {
   std::uint64_t calls_executed = 0;
   std::uint64_t calls_rejected_wrong_view = 0;
   std::uint64_t duplicate_calls_suppressed = 0;
+  // Delayed transmissions of subactions the caller already declared dead,
+  // refused before execution (§3.6 admission check).
+  std::uint64_t dead_sub_calls_refused = 0;
   std::uint64_t prepares_ok = 0;
   std::uint64_t prepares_refused = 0;
+  // Retransmitted prepares for txns already prepared/committed here, answered
+  // idempotently without re-running the compatibility check or the force.
+  std::uint64_t duplicate_prepares_answered = 0;
   std::uint64_t commits_applied = 0;
   std::uint64_t aborts_applied = 0;
   std::uint64_t txns_committed = 0;  // as coordinator
@@ -203,6 +209,11 @@ struct CohortStats {
   std::uint64_t queries_sent = 0;
   std::uint64_t queries_resolved = 0;
   std::uint64_t records_applied_as_backup = 0;
+  // Windowed backup replication: out-of-order batches stashed until the hole
+  // fills, and gap requests (nacks) sent to the primary asking for it.
+  std::uint64_t records_stashed_out_of_order = 0;
+  std::uint64_t records_applied_from_stash = 0;
+  std::uint64_t gap_requests_sent = 0;
   // Simulated-time instants of the last view-change start/finish, for
   // latency measurements (bench E4).
   sim::Time last_view_change_started = 0;
@@ -322,7 +333,8 @@ class Cohort : public net::FrameHandler {
   // ---- backup record application (txn_server.cc) ----
   void OnBufferBatch(const vr::BufferBatchMsg& m);
   void ApplyRecord(const vr::EventRecord& rec);
-  void SendBufferAck();
+  void DrainBatchStash();
+  void SendBufferAck(bool gap = false, std::uint64_t gap_hi = 0);
 
   // ---- server role (txn_server.cc) ----
   void OnCall(const vr::CallMsg& m);
@@ -433,6 +445,10 @@ class Cohort : public net::FrameHandler {
   bool adopting_ = false;         // newview adoption in flight (stable write)
   // Lazy-apply mode (§3.3 trade-off): records held here until promotion.
   std::vector<vr::EventRecord> pending_records_;
+  // Out-of-order records from pipelined batches, keyed by ts, held until the
+  // hole before them fills (bounded; overflow is re-fetched via gap request).
+  static constexpr std::size_t kMaxBatchStash = 4096;
+  std::map<std::uint64_t, vr::EventRecord> batch_stash_;
 
   // ---- failure detection ----
   std::map<Mid, sim::Time> last_heard_;
@@ -464,6 +480,7 @@ class Cohort : public net::FrameHandler {
   // abort arrives must not record its effects at completion.
   std::map<Aid, std::set<std::uint32_t>> dead_subs_by_txn_;
   std::set<Aid> prepared_;                          // blocked-txn query targets
+  std::set<Aid> preparing_;                         // prepare force in flight
   std::set<Aid> querying_;                          // resolution in flight
   // Last time each lock-holding transaction showed activity here; feeds the
   // idle-transaction janitor (§3.4 queries).

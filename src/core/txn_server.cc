@@ -101,12 +101,14 @@ void Cohort::RestoreGstate(const std::vector<std::uint8_t>& bytes) {
 // Backup replication (§3.3)
 // ---------------------------------------------------------------------------
 
-void Cohort::SendBufferAck() {
+void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi) {
   vr::BufferAckMsg ack;
   ack.group = group_;
   ack.viewid = cur_viewid_;
   ack.from = self_;
   ack.ts = applied_ts_;
+  ack.gap = gap;
+  ack.gap_hi = gap_hi;
   SendMsg(cur_view_.primary, ack);
 }
 
@@ -201,19 +203,55 @@ void Cohort::OnBufferBatch(const vr::BufferBatchMsg& m) {
     return;
   }
 
-  // Path 3 — steady-state backup application in timestamp order.
+  // Path 3 — steady-state backup application in timestamp order. Batches
+  // arrive pipelined and may be reordered or lost in flight: records beyond
+  // applied_ts_ + 1 are stashed, and the ack carries a gap request naming
+  // the exact hole so the primary can fill it without a full retransmission
+  // deadline passing.
   if (status_ != Status::kActive || m.viewid != cur_viewid_ ||
       m.from != cur_view_.primary || cur_view_.primary == self_) {
     return;
   }
   for (const vr::EventRecord& rec : m.events) {
-    if (rec.ts <= applied_ts_) continue;       // duplicate
-    if (rec.ts != applied_ts_ + 1) break;      // gap; wait for retransmit
+    if (rec.ts <= applied_ts_) continue;  // duplicate
+    if (rec.ts != applied_ts_ + 1) {
+      // Out of order: hold on to it; a bounded stash keeps a byzantine-sized
+      // burst from exhausting memory (excess is re-fetched via the gap).
+      if (batch_stash_.size() < kMaxBatchStash &&
+          batch_stash_.emplace(rec.ts, rec).second) {
+        ++stats_.records_stashed_out_of_order;
+      }
+      continue;
+    }
     ApplyRecord(rec);
     applied_ts_ = rec.ts;
     history_.Advance(rec.ts);
+    DrainBatchStash();
   }
-  SendBufferAck();
+  // Stashed records may themselves have become applicable (e.g. this batch
+  // was the older, hole-filling one).
+  DrainBatchStash();
+  const bool gap = !batch_stash_.empty();
+  if (gap) ++stats_.gap_requests_sent;
+  SendBufferAck(gap, gap ? batch_stash_.begin()->first - 1 : 0);
+}
+
+// Applies every stashed record that has become contiguous with applied_ts_;
+// drops any the primary re-sent in the meantime.
+void Cohort::DrainBatchStash() {
+  while (!batch_stash_.empty()) {
+    auto it = batch_stash_.begin();
+    if (it->first <= applied_ts_) {
+      batch_stash_.erase(it);  // duplicate of an already-applied record
+      continue;
+    }
+    if (it->first != applied_ts_ + 1) return;  // hole still open
+    ApplyRecord(it->second);
+    applied_ts_ = it->first;
+    history_.Advance(it->first);
+    ++stats_.records_applied_from_stash;
+    batch_stash_.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +393,19 @@ sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
     }
   }
 
+  // §3.6, admission side: a call whose OWN subaction is already dead must
+  // not run at all. A delayed transmission of an aborted attempt would
+  // otherwise execute concurrently with its replacement and leak its
+  // tentative versions into the replacement's reads (the caller gave up on
+  // this attempt, so no reply is owed).
+  if (auto dit = dead_subs_by_txn_.find(m.sub_aid.aid);
+      dit != dead_subs_by_txn_.end() &&
+      dit->second.count(m.sub_aid.sub) != 0) {
+    ++stats_.dead_sub_calls_refused;
+    call_dedup_.erase(m.call_seq);
+    co_return;
+  }
+
   // "Create an empty pset. Then run the call."
   ProcContext ctx(*this, m.sub_aid, m.args);
   ctx.dead_subs_ = m.dead_subs;
@@ -469,6 +520,31 @@ sim::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
     co_return;
   }
 
+  // Duplicate transmission of a prepare we already answered. Re-reply
+  // idempotently: re-running the compatibility check or the force against a
+  // LATER view's history can spuriously refuse, and the refusal path's
+  // LocalAbortTxn would destroy a prepared — possibly already committed —
+  // transaction, releasing its locks to concurrent readers.
+  if (prepared_.count(m.aid) != 0 ||
+      outcomes_.Lookup(m.aid) == TxnOutcome::kCommitted) {
+    r.status = vr::PrepareStatus::kPrepared;
+    r.read_only = !store_.HasWriteLocks(m.aid);
+    ++stats_.duplicate_prepares_answered;
+    SendMsg(m.reply_to, r);
+    co_return;
+  }
+
+  // Duplicates racing with an in-flight prepare (the force below suspends):
+  // drop them. The in-flight attempt will reply; the coordinator retries on
+  // silence. Running two prepares concurrently would let one attempt's
+  // refusal abort the other attempt's successful prepare.
+  if (!preparing_.insert(m.aid).second) co_return;
+  struct PreparingGuard {
+    std::set<Aid>* set;
+    Aid aid;
+    ~PreparingGuard() { set->erase(aid); }
+  } preparing_guard{&preparing_, m.aid};
+
   // "If compatible(pset, history, mygroupid) ... Otherwise ... refus[e] the
   //  prepare and abort the transaction."
   if (!vr::Compatible(m.pset, group_, history_)) {
@@ -564,6 +640,17 @@ sim::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
     const Viewstamp vs = AddRecord(vr::EventRecord::Committed(m.aid));
     const bool ok = co_await Force(vs);
     if (!ok || !IsActivePrimary()) co_return;  // view change resolves it
+  } else {
+    // Already committed here — via query resolution, or a duplicate of a
+    // commit whose force is still in flight. The done tells the coordinator
+    // it may write the 'done' record and FORGET the outcome, so it must not
+    // be sent until our committed record is stable: otherwise a view change
+    // can drop the unstable record, the new primary's blocked-txn query
+    // finds the outcome presumed aborted, and a committed transaction is
+    // rolled back. Forcing the buffer tail covers the committed record
+    // wherever it sits.
+    const bool ok = co_await Force(Viewstamp{cur_viewid_, buffer_.last_ts()});
+    if (!ok || !IsActivePrimary()) co_return;  // view change resolves it
   }
   vr::CommitDoneMsg done;
   done.aid = m.aid;
@@ -573,6 +660,9 @@ sim::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
 
 void Cohort::LocalAbortTxn(Aid aid) {
   if (outcomes_.Lookup(aid) == TxnOutcome::kAborted) return;
+  // The commit decision is final and system-wide; a late abort (stale
+  // message, stale query answer) must never roll it back.
+  if (outcomes_.Lookup(aid) == TxnOutcome::kCommitted) return;
   store_.Abort(aid);
   prepared_.erase(aid);
   txn_activity_.erase(aid);

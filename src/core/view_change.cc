@@ -232,6 +232,7 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
     }
     pending_records_.clear();
   }
+  batch_stash_.clear();  // stale-view records; never applicable again
 
   cur_view_ = v;
   cur_viewid_ = vid;
@@ -281,6 +282,7 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   history_.Advance(newview_ts);  // account for the newview record itself
   RestoreGstate(newview.gstate);
   pending_records_.clear();
+  batch_stash_.clear();
   applied_ts_ = newview_ts;
 
   const std::uint64_t epoch = ++start_view_epoch_;

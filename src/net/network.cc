@@ -8,8 +8,10 @@ Network::Network(sim::Simulation& simulation, NetworkOptions options)
     : sim_(simulation), options_(options), rng_(simulation.rng().Fork()) {}
 
 void Network::Register(NodeId node, FrameHandler* handler) {
+  // Registration only installs the handler. Up/down state is controlled
+  // solely by SetNodeUp: re-registering a handler for a crashed cohort must
+  // not silently mark it up and bypass the Recover() path.
   handlers_[node] = handler;
-  down_nodes_.erase(node);
 }
 
 std::uint64_t Network::LinkKey(NodeId a, NodeId b) {
@@ -80,10 +82,10 @@ void Network::Send(NodeId from, NodeId to, std::uint16_t type,
     return;
   }
 
-  if (!Reachable(from, to)) {
-    ++stats_.dropped_partition;
-    return;
-  }
+  // Partition state is checked only at delivery time (Deliver): a frame sent
+  // during a partition that heals before the frame lands is delivered, and a
+  // frame in flight when a partition forms is lost — as on a real network.
+  // Checking here too would double-count dropped_partition.
   if (rng_.Bernoulli(options_.loss_probability)) {
     ++stats_.dropped_loss;
     return;

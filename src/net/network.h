@@ -76,7 +76,8 @@ class Network {
 
   // -- Data plane ------------------------------------------------------
 
-  // Registers (or replaces) the handler for a node and marks the node up.
+  // Registers (or replaces) the handler for a node. Does NOT change up/down
+  // state — only SetNodeUp does (a crashed node must go through recovery).
   void Register(NodeId node, FrameHandler* handler);
 
   // Sends a frame. Local (from == to) delivery bypasses loss/partition but

@@ -26,12 +26,10 @@ void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
   sub_majority_ = SubMajorityOf(config_size);
   history_ = history;
   next_ts_ = 1;
+  base_ts_ = 0;
   records_.clear();
-  acked_.clear();
-  for (Mid b : backups_) acked_[b] = 0;
-
-  retransmit_timer_ = sim_.scheduler().After(options_.retransmit_interval,
-                                             [this] { FlushNow(); });
+  state_.clear();
+  for (Mid b : backups_) state_[b] = BackupState{};
 }
 
 void CommBuffer::Stop() {
@@ -54,6 +52,9 @@ Viewstamp CommBuffer::Add(EventRecord record) {
   history_->Advance(record.ts);
   records_.push_back(std::move(record));
   ++stats_.adds;
+  stats_.buffer_high_water =
+      std::max(stats_.buffer_high_water,
+               static_cast<std::uint64_t>(records_.size()));
   ScheduleFlush(options_.flush_delay);
   return Viewstamp{viewid_, records_.back().ts};
 }
@@ -61,9 +62,16 @@ Viewstamp CommBuffer::Add(EventRecord record) {
 void CommBuffer::ForceTo(Viewstamp vs, std::function<void(bool)> done) {
   ++stats_.forces;
   // "If the viewstamp is not for the current view it returns immediately."
-  if (!active_ || vs.view != viewid_) {
+  if (vs.view != viewid_) {
     ++stats_.forces_immediate;
     done(true);
+    return;
+  }
+  // A stopped buffer never replicated these events: the caller must not
+  // treat them as durable (the view change decides their fate).
+  if (!active_) {
+    ++stats_.forces_failed;
+    done(false);
     return;
   }
   if (StableTs() >= vs.ts || sub_majority_ == 0) {
@@ -83,19 +91,90 @@ void CommBuffer::ForceTo(Viewstamp vs, std::function<void(bool)> done) {
 std::uint64_t CommBuffer::StableTs() const {
   if (backups_.empty() || sub_majority_ == 0) return next_ts_ - 1;
   std::vector<std::uint64_t> acks;
-  acks.reserve(acked_.size());
-  for (const auto& [mid, ts] : acked_) acks.push_back(ts);
+  acks.reserve(state_.size());
+  for (const auto& [mid, st] : state_) acks.push_back(st.acked);
   std::sort(acks.begin(), acks.end(), std::greater<>());
   if (acks.size() < sub_majority_) return 0;
   return acks[sub_majority_ - 1];
 }
 
+std::uint64_t CommBuffer::AckedTs(Mid backup) const {
+  auto it = state_.find(backup);
+  return it == state_.end() ? 0 : it->second.acked;
+}
+
 void CommBuffer::OnAck(const BufferAckMsg& ack) {
   if (!active_ || ack.viewid != viewid_) return;
-  auto it = acked_.find(ack.from);
-  if (it == acked_.end()) return;
-  if (ack.ts > it->second) it->second = ack.ts;
+  if (ack.group != group_) {
+    ++stats_.acks_rejected;
+    return;
+  }
+  auto it = state_.find(ack.from);
+  if (it == state_.end()) {
+    // Not a backup of this view (misrouted, or a stray configuration).
+    ++stats_.acks_rejected;
+    return;
+  }
+  // A corrupted or misrouted ack must not advance the watermark past what
+  // was ever added: that could satisfy a force no backup actually saw.
+  if (ack.ts > last_ts()) {
+    ++stats_.acks_rejected;
+    return;
+  }
+  BackupState& st = it->second;
+  const bool was_stalled = st.sent >= st.acked + options_.window;
+  const bool progress = ack.ts > st.acked;
+  if (progress) {
+    st.acked = ack.ts;
+    // An ack can overtake the cursor (e.g. state rebuilt mid-view); never
+    // let the cursor lag behind what is known received.
+    if (st.sent < st.acked) st.sent = st.acked;
+    if (st.acked >= st.gap_resent_hi) st.gap_resent_hi = 0;
+  }
+  // Only progress resets the stall deadline: a duplicate ack must not
+  // postpone a legitimate retransmission forever.
+  if (st.acked >= st.sent) {
+    st.deadline = 0;
+  } else if (progress) {
+    st.deadline = sim_.Now() + options_.retransmit_interval;
+  }
+
+  // Explicit gap request: the backup saw records beyond ack.ts + 1 and asks
+  // precisely for the hole (ack.ts, gap_hi]. Resend it immediately — without
+  // touching the cursor — instead of letting the deadline expire.
+  if (ack.gap) {
+    const std::uint64_t lo = st.acked;
+    const std::uint64_t hi = std::min(st.sent, ack.gap_hi);
+    if (hi > lo && hi > st.gap_resent_hi) {
+      ++stats_.gap_requests;
+      stats_.records_retransmitted += hi - lo;
+      st.gap_resent_hi = hi;
+      st.deadline = sim_.Now() + options_.retransmit_interval;
+      SendRange(ack.from, lo, hi);
+    }
+  }
+
+  // Pipelining: a backup that was window-stalled resumes the moment the ack
+  // frees space (new records otherwise ride the next flush tick).
+  if (was_stalled && st.sent < last_ts()) SendTo(ack.from);
+
+  ArmRetransmitTimer();
+  CollectGarbage();
   ResolveForces();
+}
+
+void CommBuffer::CollectGarbage() {
+  if (state_.empty()) return;
+  std::uint64_t watermark = last_ts();
+  for (const auto& [mid, st] : state_) {
+    watermark = std::min(watermark, st.acked);
+  }
+  if (watermark <= base_ts_) return;
+  const std::size_t n = static_cast<std::size_t>(watermark - base_ts_);
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(n));
+  base_ts_ = watermark;
+  stats_.records_gced += n;
 }
 
 void CommBuffer::ResolveForces() {
@@ -160,25 +239,88 @@ void CommBuffer::ScheduleFlush(sim::Duration delay) {
 void CommBuffer::FlushNow() {
   if (!active_) return;
   for (Mid b : backups_) SendTo(b);
-  // Re-arm the retransmission timer.
-  sim_.scheduler().Cancel(retransmit_timer_);
-  retransmit_timer_ = sim_.scheduler().After(options_.retransmit_interval,
-                                             [this] { FlushNow(); });
+  ArmRetransmitTimer();
 }
 
+// Advances `backup`'s send cursor: transmits every record past the cursor,
+// in max_batch chunks, up to the in-flight window. Never re-sends.
 void CommBuffer::SendTo(Mid backup) {
-  const std::uint64_t from = acked_[backup];  // next needed is from + 1
-  if (from >= records_.size()) return;        // fully acked
-  BufferBatchMsg batch;
-  batch.group = group_;
-  batch.viewid = viewid_;
-  batch.from = self_;
-  const std::size_t end =
-      std::min(records_.size(), static_cast<std::size_t>(from) + options_.max_batch);
-  batch.events.assign(records_.begin() + static_cast<long>(from),
-                      records_.begin() + static_cast<long>(end));
-  ++stats_.batches_sent;
-  send_(backup, batch);
+  auto it = state_.find(backup);
+  if (it == state_.end()) return;
+  BackupState& st = it->second;
+  const std::uint64_t last = last_ts();
+  while (st.sent < last) {
+    const std::uint64_t limit = st.acked + options_.window;
+    if (st.sent >= limit) {
+      ++stats_.window_stalls;
+      return;
+    }
+    const std::uint64_t lo = st.sent;
+    const std::uint64_t hi =
+        std::min({last, limit, lo + options_.max_batch});
+    st.sent = hi;
+    if (st.deadline == 0) {
+      st.deadline = sim_.Now() + options_.retransmit_interval;
+    }
+    SendRange(backup, lo, hi);
+  }
+}
+
+// Transmits the records in (lo, hi], in max_batch chunks. lo is always at or
+// above the GC watermark: a cursor never points below its backup's own ack,
+// and the watermark is the minimum ack.
+void CommBuffer::SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi) {
+  assert(lo >= base_ts_ && hi <= last_ts());
+  while (lo < hi) {
+    const std::uint64_t end = std::min(hi, lo + options_.max_batch);
+    BufferBatchMsg batch;
+    batch.group = group_;
+    batch.viewid = viewid_;
+    batch.from = self_;
+    batch.events.assign(
+        records_.begin() + static_cast<std::ptrdiff_t>(lo - base_ts_),
+        records_.begin() + static_cast<std::ptrdiff_t>(end - base_ts_));
+    ++stats_.batches_sent;
+    stats_.records_sent += end - lo;
+    send_(backup, batch);
+    lo = end;
+  }
+}
+
+void CommBuffer::ArmRetransmitTimer() {
+  sim::Time next = 0;
+  for (const auto& [mid, st] : state_) {
+    if (st.deadline != 0 && (next == 0 || st.deadline < next)) {
+      next = st.deadline;
+    }
+  }
+  sim_.scheduler().Cancel(retransmit_timer_);
+  retransmit_timer_ = sim::kNoTimer;
+  if (next == 0) return;
+  retransmit_timer_ =
+      sim_.scheduler().At(next, [this] { CheckRetransmits(); });
+}
+
+void CommBuffer::CheckRetransmits() {
+  retransmit_timer_ = sim::kNoTimer;
+  if (!active_) return;
+  const sim::Time now = sim_.Now();
+  for (auto& [backup, st] : state_) {
+    if (st.deadline == 0 || st.deadline > now) continue;
+    if (st.sent <= st.acked) {
+      st.deadline = 0;
+      continue;
+    }
+    // Stalled: in-flight records outlived their ack deadline. Go-back-N for
+    // this backup only; healthy backups are untouched.
+    ++stats_.retransmit_timeouts;
+    stats_.records_retransmitted += st.sent - st.acked;
+    st.sent = st.acked;
+    st.gap_resent_hi = 0;
+    st.deadline = 0;
+    SendTo(backup);
+  }
+  ArmRetransmitTimer();
 }
 
 }  // namespace vsr::vr

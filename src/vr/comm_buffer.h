@@ -13,6 +13,20 @@
 // configuration knows those events. A force that cannot complete within its
 // timeout is abandoned and reported, which is the trigger for the cohort to
 // run a view change (§3 footnote 1).
+//
+// Replication is windowed and pipelined, not cumulative rebroadcast:
+//  * a per-backup send cursor tracks what is in flight, so a flush only
+//    transmits records the backup has never been sent;
+//  * at most `window` records may be unacknowledged per backup; beyond that
+//    the sender stalls until acks arrive (flow control);
+//  * each backup with in-flight records carries a retransmission deadline;
+//    only a backup whose acks stall past its deadline gets a go-back-N
+//    resend — healthy backups are never sent a record twice;
+//  * a backup that observes a hole (records arrived beyond applied+1) sends
+//    an explicit gap request in its ack; the primary re-sends exactly the
+//    missing range immediately instead of waiting out the deadline;
+//  * records below the all-backups-acked watermark are garbage collected,
+//    so long-lived views hold only the unacknowledged suffix in memory.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +46,16 @@ struct CommBufferOptions {
   // Background flush delay: how long Add()ed records may linger before being
   // sent ("at a convenient time"). ForceTo flushes immediately.
   sim::Duration flush_delay = 500 * sim::kMicrosecond;
-  // Retransmission interval for unacknowledged records.
+  // Per-backup ack deadline: in-flight records not acknowledged within this
+  // window trigger a go-back-N resend to that backup only.
   sim::Duration retransmit_interval = 20 * sim::kMillisecond;
   // A force that has not satisfied a sub-majority within this window is
   // abandoned (communication failure ⇒ view change).
   sim::Duration force_timeout = 400 * sim::kMillisecond;
   // Max records per BufferBatch message.
   std::size_t max_batch = 64;
+  // Max in-flight (sent but unacknowledged) records per backup.
+  std::size_t window = 1024;
 };
 
 class CommBuffer {
@@ -76,18 +93,27 @@ class CommBuffer {
   // The force-to operation (§3). Completes with true once a sub-majority of
   // backups ack all events of the current view with timestamps <= vs.ts;
   // completes immediately (true) if vs is not for the current view;
-  // completes with false if abandoned. The callback may run synchronously.
+  // completes with false on a stopped buffer (the events were never
+  // replicated) or if abandoned. The callback may run synchronously.
   void ForceTo(Viewstamp vs, std::function<void(bool)> done);
 
-  // Backup acknowledgment.
+  // Backup acknowledgment / gap request. Acks from senders outside the
+  // view's backup set, for the wrong group, or claiming a timestamp beyond
+  // last_ts() are rejected (counted in stats().acks_rejected).
   void OnAck(const BufferAckMsg& ack);
 
   // Sub-majority ack watermark: the highest ts acked by at least a
   // sub-majority of backups (0 if none).
   std::uint64_t StableTs() const;
 
-  // All records of the current view (for tests and the lazy-apply ablation).
+  // The resident (not yet garbage-collected) suffix of the current view's
+  // records: records()[i].ts == base_ts() + i + 1. Records with
+  // ts <= base_ts() were acked by every backup and have been released.
   const std::vector<EventRecord>& records() const { return records_; }
+  std::uint64_t base_ts() const { return base_ts_; }
+
+  // Highest cumulative ack received from `backup` (0 if none/unknown).
+  std::uint64_t AckedTs(Mid backup) const;
 
   struct Stats {
     std::uint64_t adds = 0;
@@ -98,6 +124,24 @@ class CommBuffer {
     std::uint64_t forces_immediate = 0;
     std::uint64_t forces_failed = 0;
     std::uint64_t batches_sent = 0;
+    // Record transmissions, including re-sends. The windowed-replication
+    // invariant: records_sent - records_retransmitted record deliveries were
+    // first transmissions — no record is sent twice to a backup except after
+    // its retransmission deadline expired or it asked for a gap fill.
+    std::uint64_t records_sent = 0;
+    std::uint64_t records_retransmitted = 0;
+    // Per-backup ack-deadline expiries (each triggers one go-back-N resend).
+    std::uint64_t retransmit_timeouts = 0;
+    // Explicit gap requests honored with an immediate range resend.
+    std::uint64_t gap_requests = 0;
+    // Flush attempts blocked because a backup's in-flight window was full.
+    std::uint64_t window_stalls = 0;
+    // Records released below the all-backups-acked watermark.
+    std::uint64_t records_gced = 0;
+    // Max resident record count (memory high-water mark of this view).
+    std::uint64_t buffer_high_water = 0;
+    // Acks discarded: wrong group, unknown sender, or ts beyond last_ts().
+    std::uint64_t acks_rejected = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -109,11 +153,26 @@ class CommBuffer {
     sim::Time deadline;
   };
 
+  // Per-backup replication cursor.
+  struct BackupState {
+    std::uint64_t acked = 0;  // highest cumulative ack received
+    std::uint64_t sent = 0;   // highest ts transmitted (the send cursor)
+    // Upper end of the last gap-request resend; suppresses duplicate
+    // resends for the same hole until the ack advances past it.
+    std::uint64_t gap_resent_hi = 0;
+    // Ack deadline while records are in flight (0 = nothing outstanding).
+    sim::Time deadline = 0;
+  };
+
   void ScheduleFlush(sim::Duration delay);
   void FlushNow();
   void SendTo(Mid backup);
+  void SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi);
   void ResolveForces();
   void CheckForceTimeouts();
+  void CheckRetransmits();
+  void ArmRetransmitTimer();
+  void CollectGarbage();
 
   sim::Simulation& sim_;
   CommBufferOptions options_;
@@ -129,8 +188,9 @@ class CommBuffer {
   History* history_ = nullptr;
 
   std::uint64_t next_ts_ = 1;
-  std::vector<EventRecord> records_;  // records_[i].ts == i + 1
-  std::map<Mid, std::uint64_t> acked_;
+  std::uint64_t base_ts_ = 0;         // ts of the last GC'd record
+  std::vector<EventRecord> records_;  // records_[i].ts == base_ts_ + i + 1
+  std::map<Mid, BackupState> state_;
   std::vector<PendingForce> forces_;
 
   sim::TimerId flush_timer_ = sim::kNoTimer;

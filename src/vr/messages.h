@@ -7,7 +7,8 @@
 //   InitView      manager → new primary when the manager is not it (§4)
 //   BufferBatch   event records streamed from the communication buffer (§2);
 //                 also carries the newview record that initializes underlings
-//   BufferAck     backup acknowledgment driving force_to (§3)
+//   BufferAck     backup acknowledgment driving force_to (§3), optionally
+//                 carrying a gap request (nack) for a replication hole
 //   Call/Reply    remote procedure call to a server group's primary (Fig. 2/3)
 //   Prepare/...   two-phase commit (Fig. 2/3)
 //   AbortSub      discard one subaction — a retried call attempt (§3.6)
@@ -200,12 +201,19 @@ struct BufferAckMsg {
   Mid from = 0;
   // Highest contiguously applied timestamp in `viewid`.
   std::uint64_t ts = 0;
+  // Gap request (nack): the backup holds records beyond ts + 1 and asks the
+  // primary to resend exactly (ts, gap_hi] instead of waiting out the
+  // primary's retransmission deadline.
+  bool gap = false;
+  std::uint64_t gap_hi = 0;
 
   void Encode(wire::Writer& w) const {
     w.U64(group);
     viewid.Encode(w);
     w.U32(from);
     w.U64(ts);
+    w.Bool(gap);
+    w.U64(gap_hi);
   }
   static BufferAckMsg Decode(wire::Reader& r) {
     BufferAckMsg m;
@@ -213,6 +221,9 @@ struct BufferAckMsg {
     m.viewid = ViewId::Decode(r);
     m.from = r.U32();
     m.ts = r.U64();
+    m.gap = r.Bool();
+    m.gap_hi = r.U64();
+    if (m.gap && m.gap_hi <= m.ts) r.MarkBad();
     return m;
   }
 };

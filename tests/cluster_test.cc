@@ -65,18 +65,33 @@ TEST(Cluster, DeterministicAcrossIdenticalRuns) {
     auto g = cluster.AddGroup("kv", 3);
     auto client_g = cluster.AddGroup("c", 3);
     test::RegisterKvProcs(cluster, g);
+    // FNV-1a over every delivered frame's (time, endpoints, type, size):
+    // sensitive to the exact schedule, not just aggregate counters (windowed
+    // replication makes frame counts nearly seed-independent in calm runs).
+    std::uint64_t schedule_hash = 14695981039346656037ull;
+    cluster.network().set_observer([&](const net::Frame& f) {
+      auto mix = [&](std::uint64_t v) {
+        schedule_hash = (schedule_hash ^ v) * 1099511628211ull;
+      };
+      mix(cluster.sim().Now());
+      mix(f.from);
+      mix(f.to);
+      mix(f.type);
+      mix(f.payload.size());
+    });
     cluster.Start();
     cluster.RunUntilStable();
     for (int i = 0; i < 5; ++i) {
       test::RunOneCall(cluster, client_g, g, "add", "x=1");
     }
     cluster.RunFor(1 * sim::kSecond);
-    // Digest: final time + network counters + committed value.
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "%llu/%llu/%s",
+    // Digest: final time + network counters + schedule hash + committed value.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%llu/%llu/%llx/%s",
                   static_cast<unsigned long long>(cluster.sim().Now()),
                   static_cast<unsigned long long>(
                       cluster.network().stats().frames_sent),
+                  static_cast<unsigned long long>(schedule_hash),
                   test::CommittedValue(cluster, g, "x").c_str());
     return std::string(buf);
   };

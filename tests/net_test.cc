@@ -112,6 +112,40 @@ TEST_F(NetworkTest, InFlightFramesLostWhenPartitionForms) {
   EXPECT_TRUE(b_.frames.empty());
 }
 
+TEST_F(NetworkTest, FrameInFlightAcrossHealDeliveredExactlyOnce) {
+  // Partitions filter at DELIVERY time, not send time: a frame sent while
+  // the partition stands but arriving after the heal goes through — the
+  // inverse of InFlightFramesLostWhenPartitionForms.
+  NetworkOptions o;
+  o.delay_min = o.delay_max = 100;
+  auto net = Make(o);
+  net->Partition({{1}, {2, 3}});
+  net->Send(1, 2, 0, {7});
+  sim_.scheduler().RunUntil(50);
+  net->Heal();  // frame still in flight
+  sim_.scheduler().RunToQuiescence();
+  ASSERT_EQ(b_.frames.size(), 1u);
+  EXPECT_EQ(b_.frames[0].payload, (std::vector<std::uint8_t>{7}));
+  EXPECT_EQ(net->stats().dropped_partition, 0u);
+}
+
+TEST_F(NetworkTest, RegisterDoesNotResurrectDownNode) {
+  auto net = Make({});
+  net->SetNodeUp(2, false);
+  // Re-registering a handler (e.g. a cohort object being rebuilt) must not
+  // silently mark the node up again: only SetNodeUp models the machine
+  // rebooting.
+  net->Register(2, &b_);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_TRUE(b_.frames.empty());
+  EXPECT_EQ(net->stats().dropped_node_down, 1u);
+  net->SetNodeUp(2, true);
+  net->Send(1, 2, 0, {});
+  sim_.scheduler().RunToQuiescence();
+  EXPECT_EQ(b_.frames.size(), 1u);
+}
+
 TEST_F(NetworkTest, DownNodeReceivesNothing) {
   auto net = Make({});
   net->SetNodeUp(2, false);

@@ -297,6 +297,163 @@ TEST_F(CommBufferTest, StaleViewAcksIgnored) {
   EXPECT_FALSE(done);
 }
 
+TEST_F(CommBufferTest, ForceAfterStopFails) {
+  Viewstamp v = buffer_.Add(Rec());
+  buffer_.Stop();
+  bool done = false, ok = true;
+  buffer_.ForceTo(v, [&](bool o) {
+    done = true;
+    ok = o;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);  // never replicated: not durable
+  // A viewstamp of another view still completes true ("returns immediately"):
+  // its durability was settled by that view, not by this buffer.
+  done = false;
+  ok = false;
+  buffer_.ForceTo({{0, 9}, 5}, [&](bool o) {
+    done = true;
+    ok = o;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(CommBufferTest, DuplicateAckIsIdempotent) {
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  Ack(2, 2);
+  const std::uint64_t stable = buffer_.StableTs();
+  const std::uint64_t sent_before = buffer_.stats().records_sent;
+  Ack(2, 2);  // duplicate
+  Ack(2, 1);  // regression: a stale ack must not move the cursor backwards
+  EXPECT_EQ(buffer_.StableTs(), stable);
+  EXPECT_EQ(buffer_.AckedTs(2), 2u);
+  EXPECT_EQ(buffer_.stats().records_sent, sent_before);
+  EXPECT_EQ(buffer_.stats().acks_rejected, 0u);
+}
+
+TEST_F(CommBufferTest, RejectsForeignAndCorruptAcks) {
+  buffer_.Add(Rec());
+  BufferAckMsg a;
+  a.viewid = viewid_;
+  a.group = 1;
+  a.from = 9;  // not a backup of this view
+  a.ts = 1;
+  buffer_.OnAck(a);
+  a.from = 2;
+  a.group = 7;  // wrong group
+  buffer_.OnAck(a);
+  a.group = 1;
+  a.ts = 99;  // beyond last_ts(): corrupt or misrouted
+  buffer_.OnAck(a);
+  EXPECT_EQ(buffer_.stats().acks_rejected, 3u);
+  EXPECT_EQ(buffer_.StableTs(), 0u);
+  EXPECT_EQ(buffer_.AckedTs(2), 0u);
+}
+
+TEST_F(CommBufferTest, HealthyBackupsNeverReceiveARecordTwice) {
+  // Prompt acks: every record crosses the wire exactly once per backup.
+  for (int i = 0; i < 10; ++i) {
+    buffer_.Add(Rec());
+    sim_.scheduler().RunUntil(sim_.Now() + options_.flush_delay + 1);
+    Ack(2, buffer_.last_ts());
+    Ack(3, buffer_.last_ts());
+  }
+  sim_.scheduler().RunUntil(sim_.Now() + options_.retransmit_interval * 3);
+  EXPECT_EQ(buffer_.stats().records_sent, 20u);  // 10 records × 2 backups
+  EXPECT_EQ(buffer_.stats().records_retransmitted, 0u);
+  EXPECT_EQ(buffer_.stats().retransmit_timeouts, 0u);
+}
+
+TEST_F(CommBufferTest, OnlyStalledBackupGetsRetransmission) {
+  buffer_.Add(Rec());
+  sim_.scheduler().RunUntil(options_.flush_delay + 1);
+  Ack(2, 1);  // backup 2 healthy; backup 3 silent
+  sent_.clear();
+  sim_.scheduler().RunUntil(sim_.Now() + options_.retransmit_interval * 2);
+  ASSERT_FALSE(sent_.empty());
+  for (auto& [to, b] : sent_) EXPECT_EQ(to, 3u);
+  EXPECT_GE(buffer_.stats().retransmit_timeouts, 1u);
+}
+
+TEST_F(CommBufferTest, GapRequestResendsExactlyTheHole) {
+  for (int i = 0; i < 5; ++i) buffer_.Add(Rec());
+  sim_.scheduler().RunUntil(options_.flush_delay + 1);  // all five in flight
+  sent_.clear();
+  // Backup 2 applied ts 1–2 and then received 4–5: it asks for exactly ts 3.
+  BufferAckMsg a;
+  a.group = 1;
+  a.viewid = viewid_;
+  a.from = 2;
+  a.ts = 2;
+  a.gap = true;
+  a.gap_hi = 3;
+  buffer_.OnAck(a);
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].first, 2u);
+  ASSERT_EQ(sent_[0].second.events.size(), 1u);
+  EXPECT_EQ(sent_[0].second.events[0].ts, 3u);
+  EXPECT_EQ(buffer_.stats().gap_requests, 1u);
+  // The same hole is not filled twice while the ack stands still.
+  buffer_.OnAck(a);
+  EXPECT_EQ(buffer_.stats().gap_requests, 1u);
+  EXPECT_EQ(sent_.size(), 1u);
+}
+
+TEST_F(CommBufferTest, GarbageCollectsBelowAllAckedWatermark) {
+  for (int i = 0; i < 4; ++i) buffer_.Add(Rec());
+  sim_.scheduler().RunUntil(options_.flush_delay + 1);
+  Ack(2, 3);
+  EXPECT_EQ(buffer_.base_ts(), 0u);  // backup 3 still owes everything
+  Ack(3, 2);
+  EXPECT_EQ(buffer_.base_ts(), 2u);  // min-ack watermark
+  ASSERT_EQ(buffer_.records().size(), 2u);
+  EXPECT_EQ(buffer_.records().front().ts, 3u);
+  EXPECT_EQ(buffer_.stats().records_gced, 2u);
+  Ack(2, 4);
+  Ack(3, 4);
+  EXPECT_TRUE(buffer_.records().empty());
+  EXPECT_EQ(buffer_.base_ts(), 4u);
+  // Timestamps keep advancing past the released prefix.
+  EXPECT_EQ(buffer_.Add(Rec()).ts, 5u);
+}
+
+TEST_F(CommBufferTest, WindowLimitsInFlightRecords) {
+  CommBufferOptions small = options_;
+  small.window = 2;
+  std::vector<std::pair<Mid, BufferBatchMsg>> sent;
+  History h;
+  ViewId vid{3, 1};
+  h.OpenView(vid);
+  CommBuffer b(
+      sim_, small,
+      [&](Mid to, const BufferBatchMsg& m) { sent.emplace_back(to, m); },
+      [] {});
+  b.StartView(vid, {2, 3}, 3, 1, 1, &h);
+  for (int i = 0; i < 5; ++i) b.Add(EventRecord::Done(Aid{1, vid, 1}));
+  sim_.scheduler().RunUntil(sim_.Now() + small.flush_delay + 1);
+  auto highest_sent_to = [&](Mid backup) {
+    std::uint64_t hi = 0;
+    for (auto& [to, m] : sent) {
+      if (to != backup) continue;
+      for (auto& r : m.events) hi = std::max(hi, r.ts);
+    }
+    return hi;
+  };
+  EXPECT_EQ(highest_sent_to(2), 2u);  // window full at two unacked records
+  EXPECT_GE(b.stats().window_stalls, 1u);
+  // An ack frees window space and the stalled backup resumes immediately.
+  BufferAckMsg a;
+  a.group = 1;
+  a.viewid = vid;
+  a.from = 2;
+  a.ts = 2;
+  b.OnAck(a);
+  EXPECT_EQ(highest_sent_to(2), 4u);
+  b.Stop();
+}
+
 TEST_F(CommBufferTest, SingleCohortGroupForcesImmediately) {
   History h1;
   ViewId vid{2, 9};

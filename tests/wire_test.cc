@@ -240,6 +240,43 @@ TEST(Messages, BufferBatchWithEventsRoundTrip) {
   EXPECT_EQ(out.events[1].ts, 2u);
 }
 
+TEST(Messages, BufferAckGapRequestRoundTrip) {
+  vr::BufferAckMsg a;
+  a.group = 6;
+  a.viewid = {3, 1};
+  a.from = 2;
+  a.ts = 41;
+  a.gap = true;
+  a.gap_hi = 44;
+  auto out = RoundTrip(a);
+  EXPECT_EQ(out.ts, 41u);
+  EXPECT_TRUE(out.gap);
+  EXPECT_EQ(out.gap_hi, 44u);
+
+  a.gap = false;
+  a.gap_hi = 0;
+  out = RoundTrip(a);
+  EXPECT_FALSE(out.gap);
+}
+
+TEST(Messages, BufferAckRejectsEmptyGapRange) {
+  // A gap request naming a hole at or below the acked prefix is nonsense and
+  // must be flagged by the decoder, like any other corrupt field.
+  vr::BufferAckMsg a;
+  a.group = 6;
+  a.viewid = {3, 1};
+  a.from = 2;
+  a.ts = 41;
+  a.gap = true;
+  a.gap_hi = 41;  // (ts, gap_hi] is empty
+  Writer w;
+  a.Encode(w);
+  auto bytes = w.Take();
+  Reader r(bytes);
+  vr::BufferAckMsg::Decode(r);
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Messages, QueryAndOutcomeRoundTrip) {
   vr::QueryMsg q;
   q.aid = {1, {2, 3}, 4};
