@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_call_latency.dir/bench_e1_call_latency.cc.o"
+  "CMakeFiles/bench_e1_call_latency.dir/bench_e1_call_latency.cc.o.d"
+  "bench_e1_call_latency"
+  "bench_e1_call_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_call_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_commit_vs_stable.dir/bench_e2_commit_vs_stable.cc.o"
+  "CMakeFiles/bench_e2_commit_vs_stable.dir/bench_e2_commit_vs_stable.cc.o.d"
+  "bench_e2_commit_vs_stable"
+  "bench_e2_commit_vs_stable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_commit_vs_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_vs_voting.dir/bench_e3_vs_voting.cc.o"
+  "CMakeFiles/bench_e3_vs_voting.dir/bench_e3_vs_voting.cc.o.d"
+  "bench_e3_vs_voting"
+  "bench_e3_vs_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_vs_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

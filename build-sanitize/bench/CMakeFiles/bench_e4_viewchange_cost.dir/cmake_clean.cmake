@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_viewchange_cost.dir/bench_e4_viewchange_cost.cc.o"
+  "CMakeFiles/bench_e4_viewchange_cost.dir/bench_e4_viewchange_cost.cc.o.d"
+  "bench_e4_viewchange_cost"
+  "bench_e4_viewchange_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_viewchange_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_lost_work.dir/bench_e5_lost_work.cc.o"
+  "CMakeFiles/bench_e5_lost_work.dir/bench_e5_lost_work.cc.o.d"
+  "bench_e5_lost_work"
+  "bench_e5_lost_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_lost_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

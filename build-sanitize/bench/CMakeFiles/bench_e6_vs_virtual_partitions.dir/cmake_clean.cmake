@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_vs_virtual_partitions.dir/bench_e6_vs_virtual_partitions.cc.o"
+  "CMakeFiles/bench_e6_vs_virtual_partitions.dir/bench_e6_vs_virtual_partitions.cc.o.d"
+  "bench_e6_vs_virtual_partitions"
+  "bench_e6_vs_virtual_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_vs_virtual_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_nested_txn.dir/bench_e8_nested_txn.cc.o"
+  "CMakeFiles/bench_e8_nested_txn.dir/bench_e8_nested_txn.cc.o.d"
+  "bench_e8_nested_txn"
+  "bench_e8_nested_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_nested_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

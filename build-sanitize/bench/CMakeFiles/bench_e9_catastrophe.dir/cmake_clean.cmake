@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_catastrophe.dir/bench_e9_catastrophe.cc.o"
+  "CMakeFiles/bench_e9_catastrophe.dir/bench_e9_catastrophe.cc.o.d"
+  "bench_e9_catastrophe"
+  "bench_e9_catastrophe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_catastrophe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

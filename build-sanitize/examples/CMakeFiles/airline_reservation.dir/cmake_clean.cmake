@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_reservation.dir/airline_reservation.cpp.o"
+  "CMakeFiles/airline_reservation.dir/airline_reservation.cpp.o.d"
+  "airline_reservation"
+  "airline_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_audit.dir/bank_audit.cpp.o"
+  "CMakeFiles/bank_audit.dir/bank_audit.cpp.o.d"
+  "bank_audit"
+  "bank_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

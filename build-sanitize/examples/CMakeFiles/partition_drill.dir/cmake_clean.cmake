@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_drill.dir/partition_drill.cpp.o"
+  "CMakeFiles/partition_drill.dir/partition_drill.cpp.o.d"
+  "partition_drill"
+  "partition_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/thin_client.cpp" "examples/CMakeFiles/thin_client.dir/thin_client.cpp.o" "gcc" "examples/CMakeFiles/thin_client.dir/thin_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/workload/CMakeFiles/vsr_workload.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/check/CMakeFiles/vsr_check.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/baseline/CMakeFiles/vsr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/client/CMakeFiles/vsr_client.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/vsr_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/txn/CMakeFiles/vsr_txn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/vr/CMakeFiles/vsr_vr.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/vsr_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/wire/CMakeFiles/vsr_wire.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/vsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thin_client.dir/thin_client.cpp.o"
+  "CMakeFiles/thin_client.dir/thin_client.cpp.o.d"
+  "thin_client"
+  "thin_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thin_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

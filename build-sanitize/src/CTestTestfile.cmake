@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("wire")
+subdirs("net")
+subdirs("storage")
+subdirs("vr")
+subdirs("txn")
+subdirs("core")
+subdirs("client")
+subdirs("baseline")
+subdirs("workload")
+subdirs("check")

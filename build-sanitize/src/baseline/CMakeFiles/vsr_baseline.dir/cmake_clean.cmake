@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_baseline.dir/models.cc.o"
+  "CMakeFiles/vsr_baseline.dir/models.cc.o.d"
+  "CMakeFiles/vsr_baseline.dir/nonreplicated.cc.o"
+  "CMakeFiles/vsr_baseline.dir/nonreplicated.cc.o.d"
+  "CMakeFiles/vsr_baseline.dir/nonreplicated_viewstamped.cc.o"
+  "CMakeFiles/vsr_baseline.dir/nonreplicated_viewstamped.cc.o.d"
+  "CMakeFiles/vsr_baseline.dir/voting.cc.o"
+  "CMakeFiles/vsr_baseline.dir/voting.cc.o.d"
+  "libvsr_baseline.a"
+  "libvsr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_check.dir/invariants.cc.o"
+  "CMakeFiles/vsr_check.dir/invariants.cc.o.d"
+  "libvsr_check.a"
+  "libvsr_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

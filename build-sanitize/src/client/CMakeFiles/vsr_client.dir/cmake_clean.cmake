@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_client.dir/cluster.cc.o"
+  "CMakeFiles/vsr_client.dir/cluster.cc.o.d"
+  "CMakeFiles/vsr_client.dir/debug.cc.o"
+  "CMakeFiles/vsr_client.dir/debug.cc.o.d"
+  "CMakeFiles/vsr_client.dir/unreplicated_client.cc.o"
+  "CMakeFiles/vsr_client.dir/unreplicated_client.cc.o.d"
+  "libvsr_client.a"
+  "libvsr_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

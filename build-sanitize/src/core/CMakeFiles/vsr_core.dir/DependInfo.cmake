@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cohort.cc" "src/core/CMakeFiles/vsr_core.dir/cohort.cc.o" "gcc" "src/core/CMakeFiles/vsr_core.dir/cohort.cc.o.d"
+  "/root/repo/src/core/txn_coord.cc" "src/core/CMakeFiles/vsr_core.dir/txn_coord.cc.o" "gcc" "src/core/CMakeFiles/vsr_core.dir/txn_coord.cc.o.d"
+  "/root/repo/src/core/txn_server.cc" "src/core/CMakeFiles/vsr_core.dir/txn_server.cc.o" "gcc" "src/core/CMakeFiles/vsr_core.dir/txn_server.cc.o.d"
+  "/root/repo/src/core/view_change.cc" "src/core/CMakeFiles/vsr_core.dir/view_change.cc.o" "gcc" "src/core/CMakeFiles/vsr_core.dir/view_change.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/vr/CMakeFiles/vsr_vr.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/txn/CMakeFiles/vsr_txn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/net/CMakeFiles/vsr_net.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/vsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/wire/CMakeFiles/vsr_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_core.dir/cohort.cc.o"
+  "CMakeFiles/vsr_core.dir/cohort.cc.o.d"
+  "CMakeFiles/vsr_core.dir/txn_coord.cc.o"
+  "CMakeFiles/vsr_core.dir/txn_coord.cc.o.d"
+  "CMakeFiles/vsr_core.dir/txn_server.cc.o"
+  "CMakeFiles/vsr_core.dir/txn_server.cc.o.d"
+  "CMakeFiles/vsr_core.dir/view_change.cc.o"
+  "CMakeFiles/vsr_core.dir/view_change.cc.o.d"
+  "libvsr_core.a"
+  "libvsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

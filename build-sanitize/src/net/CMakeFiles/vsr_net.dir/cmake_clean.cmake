@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_net.dir/network.cc.o"
+  "CMakeFiles/vsr_net.dir/network.cc.o.d"
+  "libvsr_net.a"
+  "libvsr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

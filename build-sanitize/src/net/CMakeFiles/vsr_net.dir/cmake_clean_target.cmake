@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsr_net.a"
+)

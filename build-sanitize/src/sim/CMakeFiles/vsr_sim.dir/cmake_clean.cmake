@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_sim.dir/rng.cc.o"
+  "CMakeFiles/vsr_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vsr_sim.dir/scheduler.cc.o"
+  "CMakeFiles/vsr_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/vsr_sim.dir/time.cc.o"
+  "CMakeFiles/vsr_sim.dir/time.cc.o.d"
+  "CMakeFiles/vsr_sim.dir/trace.cc.o"
+  "CMakeFiles/vsr_sim.dir/trace.cc.o.d"
+  "libvsr_sim.a"
+  "libvsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/object_store.cc" "src/txn/CMakeFiles/vsr_txn.dir/object_store.cc.o" "gcc" "src/txn/CMakeFiles/vsr_txn.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/vr/CMakeFiles/vsr_vr.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/vsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/wire/CMakeFiles/vsr_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

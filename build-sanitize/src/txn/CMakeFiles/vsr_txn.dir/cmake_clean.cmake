@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_txn.dir/object_store.cc.o"
+  "CMakeFiles/vsr_txn.dir/object_store.cc.o.d"
+  "libvsr_txn.a"
+  "libvsr_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vr/comm_buffer.cc" "src/vr/CMakeFiles/vsr_vr.dir/comm_buffer.cc.o" "gcc" "src/vr/CMakeFiles/vsr_vr.dir/comm_buffer.cc.o.d"
+  "/root/repo/src/vr/events.cc" "src/vr/CMakeFiles/vsr_vr.dir/events.cc.o" "gcc" "src/vr/CMakeFiles/vsr_vr.dir/events.cc.o.d"
+  "/root/repo/src/vr/messages.cc" "src/vr/CMakeFiles/vsr_vr.dir/messages.cc.o" "gcc" "src/vr/CMakeFiles/vsr_vr.dir/messages.cc.o.d"
+  "/root/repo/src/vr/view_formation.cc" "src/vr/CMakeFiles/vsr_vr.dir/view_formation.cc.o" "gcc" "src/vr/CMakeFiles/vsr_vr.dir/view_formation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/vsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/wire/CMakeFiles/vsr_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

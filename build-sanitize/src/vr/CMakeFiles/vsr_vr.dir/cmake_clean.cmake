@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_vr.dir/comm_buffer.cc.o"
+  "CMakeFiles/vsr_vr.dir/comm_buffer.cc.o.d"
+  "CMakeFiles/vsr_vr.dir/events.cc.o"
+  "CMakeFiles/vsr_vr.dir/events.cc.o.d"
+  "CMakeFiles/vsr_vr.dir/messages.cc.o"
+  "CMakeFiles/vsr_vr.dir/messages.cc.o.d"
+  "CMakeFiles/vsr_vr.dir/view_formation.cc.o"
+  "CMakeFiles/vsr_vr.dir/view_formation.cc.o.d"
+  "libvsr_vr.a"
+  "libvsr_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

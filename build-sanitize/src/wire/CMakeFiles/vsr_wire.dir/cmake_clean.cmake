@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_wire.dir/buffer.cc.o"
+  "CMakeFiles/vsr_wire.dir/buffer.cc.o.d"
+  "libvsr_wire.a"
+  "libvsr_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

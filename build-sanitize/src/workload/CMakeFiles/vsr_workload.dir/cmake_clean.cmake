@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsr_workload.dir/airline.cc.o"
+  "CMakeFiles/vsr_workload.dir/airline.cc.o.d"
+  "CMakeFiles/vsr_workload.dir/bank.cc.o"
+  "CMakeFiles/vsr_workload.dir/bank.cc.o.d"
+  "libvsr_workload.a"
+  "libvsr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client35_test.dir/client35_test.cc.o"
+  "CMakeFiles/client35_test.dir/client35_test.cc.o.d"
+  "client35_test"
+  "client35_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client35_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

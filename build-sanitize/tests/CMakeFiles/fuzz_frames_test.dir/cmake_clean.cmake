@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_frames_test.dir/fuzz_frames_test.cc.o"
+  "CMakeFiles/fuzz_frames_test.dir/fuzz_frames_test.cc.o.d"
+  "fuzz_frames_test"
+  "fuzz_frames_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_frames_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

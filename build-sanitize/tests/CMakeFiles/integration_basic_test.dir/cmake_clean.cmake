@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_basic_test.dir/integration_basic_test.cc.o"
+  "CMakeFiles/integration_basic_test.dir/integration_basic_test.cc.o.d"
+  "integration_basic_test"
+  "integration_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_edge_test.dir/protocol_edge_test.cc.o"
+  "CMakeFiles/protocol_edge_test.dir/protocol_edge_test.cc.o.d"
+  "protocol_edge_test"
+  "protocol_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

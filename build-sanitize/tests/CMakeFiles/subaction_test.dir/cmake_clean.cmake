@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subaction_test.dir/subaction_test.cc.o"
+  "CMakeFiles/subaction_test.dir/subaction_test.cc.o.d"
+  "subaction_test"
+  "subaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

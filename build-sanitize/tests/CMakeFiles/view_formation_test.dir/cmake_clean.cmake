@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_formation_test.dir/view_formation_test.cc.o"
+  "CMakeFiles/view_formation_test.dir/view_formation_test.cc.o.d"
+  "view_formation_test"
+  "view_formation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_formation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_test.dir/vr_test.cc.o"
+  "CMakeFiles/vr_test.dir/vr_test.cc.o.d"
+  "vr_test"
+  "vr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
