@@ -3,8 +3,10 @@
 // and prints a table; EXPERIMENTS.md records claim vs. measured.
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,17 @@ inline void PrintHeader(const std::string& id, const std::string& claim) {
   std::printf("%s\n", id.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());
   std::printf("==================================================================\n");
+}
+
+// CHECK_BENCH_SMOKE=1 shrinks each bench's workload ~10x so the full
+// experiment sweep doubles as a fast CI smoke gate (scripts/check.sh).
+inline bool SmokeMode() {
+  const char* v = std::getenv("CHECK_BENCH_SMOKE");
+  return v != nullptr && v[0] == '1';
+}
+
+inline int Scaled(int full) {
+  return SmokeMode() ? std::max(1, full / 10) : full;
 }
 
 inline void Row(const char* fmt, ...) {

@@ -1,0 +1,243 @@
+// E10 — replication stream compression (DESIGN.md §8). The paper's event
+// records carry full aids, viewstamps, and object values on every hop; §4.1's
+// observation that "communication costs are the dominant costs" motivates
+// shrinking the primary→backup stream. Measured: bytes on the wire for
+// kBufferBatch frames with the delta/dictionary codec on vs. off, driving the
+// identical transaction sequence through same-seed clusters, across four
+// workloads (uniform keys, zipfian hot keys, bank-style balances, airline-style
+// seat map). Acceptance: >= 30% byte reduction on the zipfian workload.
+#include <cmath>
+#include <utility>
+
+#include "bench/bench_common.h"
+#include "vr/batch_codec.h"
+
+namespace vsr {
+namespace {
+
+using client::Cluster;
+using client::ClusterOptions;
+
+using Call = std::pair<std::string, std::string>;  // proc, args
+
+// Zipf(s) sampler over [0, n) via inverse-CDF table. Deterministic given rng.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+  std::size_t Draw(sim::Rng& rng) {
+    // 53 uniform bits -> [0,1).
+    const double u = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u < cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::string Pad(std::uint64_t v, int width) {
+  std::string s = std::to_string(v);
+  return std::string(width > static_cast<int>(s.size())
+                         ? width - static_cast<int>(s.size())
+                         : 0,
+                     '0') +
+         s;
+}
+
+// The four workloads. Each returns the same call sequence every run (its own
+// rng, independent of the cluster seed), so raw and dict clusters replicate
+// byte-for-byte identical application traffic.
+std::vector<Call> UniformWorkload(int txns) {
+  sim::Rng rng(0xE10A);
+  std::vector<Call> calls;
+  for (int i = 0; i < txns; ++i) {
+    std::string v;
+    for (int j = 0; j < 16; ++j) {
+      v.push_back(static_cast<char>('a' + rng.Index(26)));
+    }
+    calls.push_back({"put", "u" + std::to_string(rng.Index(256)) + "=" + v});
+  }
+  return calls;
+}
+
+std::vector<Call> ZipfianWorkload(int txns) {
+  sim::Rng rng(0xE10B);
+  Zipf zipf(64, 1.1);
+  std::vector<std::uint64_t> counter(64, 0);
+  std::vector<Call> calls;
+  for (int i = 0; i < txns; ++i) {
+    const std::size_t k = zipf.Draw(rng);
+    counter[k] += rng.UniformInt(1, 99);
+    calls.push_back({"put", "hot" + std::to_string(k) +
+                                "=balance=" + Pad(counter[k], 10)});
+  }
+  return calls;
+}
+
+std::vector<Call> BankWorkload(int txns) {
+  sim::Rng rng(0xE10C);
+  std::vector<std::uint64_t> balance(16, 1000000);
+  std::vector<Call> calls;
+  for (int i = 0; i < txns; ++i) {
+    const std::size_t k = rng.Index(16);
+    balance[k] += rng.UniformInt(1, 500);
+    calls.push_back({"put", "acct" + Pad(k, 2) + "=balance=" +
+                                Pad(balance[k], 12) + ";cur=usd"});
+  }
+  return calls;
+}
+
+std::vector<Call> AirlineWorkload(int txns) {
+  sim::Rng rng(0xE10D);
+  std::vector<Call> calls;
+  for (int i = 0; i < txns; ++i) {
+    // 8 flights x 50 seats: mostly-fresh uids, far beyond the dictionary.
+    const std::uint64_t seat = rng.Index(8 * 50);
+    calls.push_back({"put", "f" + std::to_string(seat / 50) + "s" +
+                                Pad(seat % 50, 2) + "=pax=P" +
+                                Pad(rng.Index(1000000), 6) + ";st=OK"});
+  }
+  return calls;
+}
+
+struct RunResult {
+  std::uint64_t committed = 0;
+  std::uint64_t batch_frames = 0;
+  std::uint64_t batch_bytes = 0;  // payload + 16-byte frame header, both groups
+  vr::CodecStats codec;           // summed over every primary->backup stream
+};
+
+RunResult RunWorkload(vr::CompressionMode mode, std::uint64_t seed,
+                      const std::vector<Call>& calls) {
+  ClusterOptions opts;
+  opts.seed = seed;  // identical seed for raw and dict: same network fabric
+  opts.cohort.buffer.compression = mode;
+  Cluster cluster(opts);
+  auto kv = cluster.AddGroup("kv", 3);
+  auto agents = cluster.AddGroup("agents", 3);
+  test::RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  RunResult r;
+  if (!cluster.RunUntilStable()) return r;
+  for (const auto& [proc, args] : calls) {
+    if (test::RunOneCallWithRetry(cluster, agents, kv, proc, args) ==
+        vr::TxnOutcome::kCommitted) {
+      ++r.committed;
+    }
+  }
+  cluster.RunFor(1 * sim::kSecond);
+
+  const auto& ns = cluster.network().stats();
+  const auto type = static_cast<std::uint16_t>(vr::MsgType::kBufferBatch);
+  if (auto it = ns.bytes_by_type.find(type); it != ns.bytes_by_type.end()) {
+    r.batch_bytes = it->second;
+  }
+  if (auto it = ns.sent_by_type.find(type); it != ns.sent_by_type.end()) {
+    r.batch_frames = it->second;
+  }
+  for (auto group : {kv, agents}) {
+    for (auto* c : cluster.Cohorts(group)) {
+      for (auto* b : cluster.Cohorts(group)) {
+        if (b == c) continue;
+        if (const vr::CodecStats* s = c->buffer().encoder_stats(b->mid())) {
+          r.codec.batches += s->batches;
+          r.codec.records += s->records;
+          r.codec.resets += s->resets;
+          r.codec.dict_hits += s->dict_hits;
+          r.codec.dict_inserts += s->dict_inserts;
+          r.codec.tentative_deltas += s->tentative_deltas;
+          r.codec.tentative_literals += s->tentative_literals;
+          r.codec.bytes_out += s->bytes_out;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace vsr
+
+int main() {
+  using namespace vsr;
+  bench::PrintHeader(
+      "E10 — replication stream: delta/dictionary compression (DESIGN.md §8)",
+      "communication is the dominant cost (§4.1); event records are small and "
+      "repetitive, so the buffer stream should compress well — target >= 30% "
+      "fewer kBufferBatch bytes on a skewed (zipfian) workload");
+
+  const int txns = bench::Scaled(200);
+  struct Workload {
+    const char* name;
+    std::vector<Call> calls;
+  };
+  const Workload workloads[] = {
+      {"uniform-256 (random values)", UniformWorkload(txns)},
+      {"zipfian-64  (hot balances)", ZipfianWorkload(txns)},
+      {"bank-16     (acct balances)", BankWorkload(txns)},
+      {"airline-400 (seat map)", AirlineWorkload(txns)},
+  };
+
+  bench::Row("  %d txns per workload; 2x3-cohort groups; kBufferBatch bytes "
+             "include the 16-byte frame header",
+             txns);
+  bench::Row("");
+  bench::Row("  %-28s %9s %9s %7s  %9s %9s  %6s %6s %6s", "workload",
+             "raw B", "dict B", "saved", "B/txn raw", "B/txn dic", "hit%",
+             "delta%", "resets");
+  double zipf_saving = -1;
+  bool all_committed = true;
+  std::uint64_t wseed = 31000;
+  for (const auto& w : workloads) {
+    const RunResult raw =
+        RunWorkload(vr::CompressionMode::kRaw, wseed, w.calls);
+    const RunResult dict =
+        RunWorkload(vr::CompressionMode::kDict, wseed, w.calls);
+    wseed += 2;
+    all_committed = all_committed &&
+                    raw.committed == w.calls.size() &&
+                    dict.committed == w.calls.size();
+    const double saved =
+        raw.batch_bytes == 0
+            ? 0
+            : 100.0 * (1.0 - static_cast<double>(dict.batch_bytes) /
+                                 static_cast<double>(raw.batch_bytes));
+    const std::uint64_t uid_refs =
+        dict.codec.dict_hits + dict.codec.dict_inserts;
+    const std::uint64_t writes =
+        dict.codec.tentative_deltas + dict.codec.tentative_literals;
+    bench::Row(
+        "  %-28s %9llu %9llu %6.1f%%  %9.0f %9.0f  %5.0f%% %5.0f%% %6llu",
+        w.name, static_cast<unsigned long long>(raw.batch_bytes),
+        static_cast<unsigned long long>(dict.batch_bytes), saved,
+        raw.committed ? static_cast<double>(raw.batch_bytes) / raw.committed
+                      : 0.0,
+        dict.committed ? static_cast<double>(dict.batch_bytes) / dict.committed
+                       : 0.0,
+        uid_refs ? 100.0 * dict.codec.dict_hits / uid_refs : 0.0,
+        writes ? 100.0 * dict.codec.tentative_deltas / writes : 0.0,
+        static_cast<unsigned long long>(dict.codec.resets));
+    if (w.calls == workloads[1].calls) zipf_saving = saved;
+  }
+
+  bench::Row("");
+  bench::Row("  zipfian saving: %.1f%% (acceptance target >= 30%%) -> %s",
+             zipf_saving, zipf_saving >= 30.0 ? "MET" : "NOT MET");
+  bench::Row("  all workload txns committed in both modes: %s",
+             all_committed ? "yes" : "NO");
+  bench::Row("  Expect: dictionary hits dominate on skewed keys; balance-style");
+  bench::Row("  values ride the delta path (common prefix), random values fall");
+  bench::Row("  back to literals but still gain from varint/aid packing; the");
+  bench::Row("  airline seat map churns the dictionary (insert-heavy) and sets");
+  bench::Row("  the compression floor.");
+  return (zipf_saving >= 30.0 && all_committed) ? 0 : 1;
+}

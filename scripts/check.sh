@@ -6,8 +6,32 @@
 #
 # CHECK_SANITIZE=1 additionally builds an ASan/UBSan tree (build-sanitize/)
 # and runs the replication-path test suites under it.
+#
+# CHECK_BENCH_SMOKE=1 runs every bench binary at ~1/10th workload (see
+# bench::Scaled) and bench_micro for a single tiny iteration — catches bench
+# bit-rot in seconds instead of waiting for full experiment runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Repo hygiene gate: build output must never be tracked (PR 2 accidentally
+# committed ~1,400 artifacts) and must stay covered by .gitignore — an
+# untracked *.o / build*/ entry in `git status` means the ignore rules
+# regressed.
+if git ls-files | grep -E '^(build[^/]*|Testing)/|\.o$' >/tmp/check_tracked.$$; then
+  echo "FAIL: build artifacts are tracked by git:" >&2
+  head -20 /tmp/check_tracked.$$ >&2
+  rm -f /tmp/check_tracked.$$
+  exit 1
+fi
+rm -f /tmp/check_tracked.$$
+if git status --porcelain | grep -E '^\?\? (build[^/]*/|Testing/|.*\.(o|a)$)' \
+    >/tmp/check_untracked.$$; then
+  echo "FAIL: untracked build artifacts (update .gitignore):" >&2
+  head -20 /tmp/check_untracked.$$ >&2
+  rm -f /tmp/check_untracked.$$
+  exit 1
+fi
+rm -f /tmp/check_untracked.$$
 
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 # Prefer Ninja for fresh build trees; an already-configured tree keeps its
@@ -36,7 +60,15 @@ fi
 echo "== experiments =="
 for b in build/bench/*; do
   [[ -f "$b" && -x "$b" ]] || continue  # skip CMake droppings
-  "$b"
+  if [[ "${CHECK_BENCH_SMOKE:-0}" == "1" ]]; then
+    # Shrunken run: Scaled-aware benches read the env var; bench_micro
+    # (google-benchmark) gets a near-zero min_time for one tiny iteration.
+    extra=()
+    [[ "$(basename "$b")" == "bench_micro" ]] && extra=(--benchmark_min_time=0.001)
+    CHECK_BENCH_SMOKE=1 "$b" "${extra[@]}" > /dev/null && echo "--- $(basename "$b") OK"
+  else
+    "$b"
+  fi
 done
 
 echo "== examples =="

@@ -106,6 +106,7 @@ void Cohort::ResetVolatileState() {
   accepts_.clear();
   pending_records_.clear();
   batch_stash_.clear();
+  batch_decoder_.Reset();
   applied_ts_ = 0;
   adopting_ = false;
   call_dedup_.clear();
@@ -126,8 +127,9 @@ void Cohort::ResetVolatileState() {
   sched.Cancel(fd_timer_);
   sched.Cancel(query_timer_);
   sched.Cancel(deferred_vc_timer_);
+  sched.Cancel(ack_timer_);
   invite_timer_ = underling_timer_ = ping_timer_ = fd_timer_ = query_timer_ =
-      deferred_vc_timer_ = sim::kNoTimer;
+      deferred_vc_timer_ = ack_timer_ = sim::kNoTimer;
 }
 
 void Cohort::Crash() {
@@ -288,7 +290,7 @@ void Cohort::OnFrame(const net::Frame& frame) {
       break;
     }
     case vr::MsgType::kBufferBatch: {
-      auto m = vr::BufferBatchMsg::Decode(r);
+      auto m = vr::BufferBatchMsg::Decode(r, &batch_decoder_);
       if (r.ok() && m.group == group_) OnBufferBatch(m);
       break;
     }

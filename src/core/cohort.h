@@ -214,6 +214,9 @@ struct CohortStats {
   std::uint64_t records_stashed_out_of_order = 0;
   std::uint64_t records_applied_from_stash = 0;
   std::uint64_t gap_requests_sent = 0;
+  // Acks absorbed into an already-scheduled coalesced ack instead of being
+  // sent as their own frame (options.ack_coalesce_delay > 0).
+  std::uint64_t acks_coalesced = 0;
   // Simulated-time instants of the last view-change start/finish, for
   // latency measurements (bench E4).
   sim::Time last_view_change_started = 0;
@@ -449,6 +452,12 @@ class Cohort : public net::FrameHandler {
   // hole before them fills (bounded; overflow is re-fetched via gap request).
   static constexpr std::size_t kMaxBatchStash = 4096;
   std::map<std::uint64_t, vr::EventRecord> batch_stash_;
+  // Stateful decompressor for the primary's batch stream (DESIGN.md §8);
+  // counterpart of the per-backup BatchEncoder in the primary's CommBuffer.
+  vr::BatchDecoder batch_decoder_;
+  // Ack coalescing (options.ack_coalesce_delay): armed while a deferred
+  // cumulative ack is pending; the send reads applied_ts_ at fire time.
+  sim::TimerId ack_timer_ = sim::kNoTimer;
 
   // ---- failure detection ----
   std::map<Mid, sim::Time> last_heard_;

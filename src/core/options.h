@@ -49,6 +49,11 @@ struct CohortOptions {
   // this long — abort messages are best-effort, so this is the net that
   // frees locks left by vanished or doomed transactions.
   sim::Duration idle_txn_timeout = 700 * sim::kMillisecond;
+  // Backup ack coalescing: gap-free BufferAcks may be deferred up to this
+  // long and merged into one frame carrying the latest applied watermark
+  // (0 = every batch is acked immediately). Gap requests are never deferred.
+  // Trades a little force-to latency for fewer ack frames per tick.
+  sim::Duration ack_coalesce_delay = 0;
 
   // ---- Design choices (ablations; see DESIGN.md §4) ----
   // Backups apply event records as they arrive (fast primary handoff) vs.

@@ -102,6 +102,30 @@ void Cohort::RestoreGstate(const std::vector<std::uint8_t>& bytes) {
 // ---------------------------------------------------------------------------
 
 void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi) {
+  // Coalescing: a gap-free ack only moves the cumulative watermark, so it
+  // may wait briefly for later batches and ride out as one frame carrying
+  // the latest applied_ts_. Gap requests are urgent and always sent now
+  // (folding any deferred ack into them — the ack field is cumulative).
+  if (!gap && options_.ack_coalesce_delay > 0) {
+    if (ack_timer_ != sim::kNoTimer) {
+      ++stats_.acks_coalesced;  // rides the already-scheduled frame
+      return;
+    }
+    ack_timer_ =
+        sim_.scheduler().After(options_.ack_coalesce_delay, [this] {
+          ack_timer_ = sim::kNoTimer;
+          if (status_ != Status::kActive || cur_view_.primary == self_) return;
+          vr::BufferAckMsg ack;
+          ack.group = group_;
+          ack.viewid = cur_viewid_;
+          ack.from = self_;
+          ack.ts = applied_ts_;
+          SendMsg(cur_view_.primary, ack);
+        });
+    return;
+  }
+  sim_.scheduler().Cancel(ack_timer_);
+  ack_timer_ = sim::kNoTimer;
   vr::BufferAckMsg ack;
   ack.group = group_;
   ack.viewid = cur_viewid_;
@@ -176,6 +200,20 @@ void Cohort::ApplyRecord(const vr::EventRecord& rec) {
 }
 
 void Cohort::OnBufferBatch(const vr::BufferBatchMsg& m) {
+  if (m.stale) return;  // duplicate of a compressed batch already consumed
+  if (m.unsynced) {
+    // A compressed batch arrived whose dictionary context we missed (lost
+    // predecessor, or we were reset). Nack the whole range: the primary's
+    // resend starts a fresh codec generation, restoring sync in one round
+    // trip. Only meaningful in steady state from our current primary.
+    if (status_ == Status::kActive && m.viewid == cur_viewid_ &&
+        m.from == cur_view_.primary && cur_view_.primary != self_ &&
+        m.last_ts > applied_ts_) {
+      ++stats_.gap_requests_sent;
+      SendBufferAck(true, m.last_ts);
+    }
+    return;
+  }
   if (m.events.empty()) return;
   const vr::EventRecord& first = m.events.front();
   const bool opens_view =

@@ -70,6 +70,7 @@ void Network::Send(NodeId from, NodeId to, std::uint16_t type,
   ++stats_.frames_sent;
   stats_.bytes_sent += payload.size() + 16;  // 16-byte simulated frame header
   ++stats_.sent_by_type[type];
+  stats_.bytes_by_type[type] += payload.size() + 16;
 
   Frame frame{from, to, type, std::move(payload)};
   std::uint32_t crc = wire::Crc32(frame.payload);

@@ -1,0 +1,462 @@
+#include "vr/batch_codec.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vsr::vr {
+
+namespace {
+
+// Record tag byte (§8.4.2).
+constexpr std::uint8_t kTypeMask = 0x07;
+constexpr std::uint8_t kTagHasCall = 0x08;
+constexpr std::uint8_t kTagSameAid = 0x10;
+constexpr std::uint8_t kTagHasEffects = 0x20;
+constexpr std::uint8_t kTagHasPlist = 0x40;
+
+// Effect op byte (§8.4.3).
+constexpr std::uint8_t kUidOpMask = 0x03;
+constexpr std::uint8_t kUidHit = 0;      // varint slot follows
+constexpr std::uint8_t kUidInsert = 1;   // var-string uid; enters the dict
+constexpr std::uint8_t kUidLiteral = 2;  // var-string uid; bypasses the dict
+constexpr std::uint8_t kOpWrite = 0x04;
+constexpr std::uint8_t kOpHasTentative = 0x08;
+constexpr std::uint8_t kOpDelta = 0x10;
+
+void PutVarString(wire::Writer& w, std::string_view s) {
+  w.Varint(s.size());
+  w.Raw(s);
+}
+
+void PutVarBytes(wire::Writer& w, const std::vector<std::uint8_t>& b) {
+  w.Varint(b.size());
+  w.Raw(std::span<const std::uint8_t>(b));
+}
+
+std::string GetVarString(wire::Reader& r) {
+  const std::uint64_t n = r.Varint();
+  if (n > r.Remaining()) {
+    r.MarkBad();
+    return {};
+  }
+  return r.RawString(static_cast<std::size_t>(n));
+}
+
+std::vector<std::uint8_t> GetVarBytes(wire::Reader& r) {
+  const std::uint64_t n = r.Varint();
+  if (n > r.Remaining()) {
+    r.MarkBad();
+    return {};
+  }
+  return r.Raw(static_cast<std::size_t>(n));
+}
+
+std::uint32_t GetVar32(wire::Reader& r) {
+  const std::uint64_t v = r.Varint();
+  if (v > UINT32_MAX) {
+    r.MarkBad();
+    return 0;
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+// Element count prefix of a variable section: each element costs at least
+// one byte, so a count beyond the remaining input is malformed (and a huge
+// forged count must not drive a huge reserve()).
+std::uint64_t GetVarCount(wire::Reader& r) {
+  const std::uint64_t n = r.Varint();
+  if (n > r.Remaining()) {
+    r.MarkBad();
+    return 0;
+  }
+  return n;
+}
+
+void PutAid(wire::Writer& w, const Aid& a) {
+  w.Varint(a.coordinator_group);
+  w.Varint(a.view.counter);
+  w.Varint(a.view.mid);
+  w.Varint(a.seq);
+}
+
+Aid GetAid(wire::Reader& r) {
+  Aid a;
+  a.coordinator_group = r.Varint();
+  a.view.counter = r.Varint();
+  a.view.mid = GetVar32(r);
+  a.seq = r.Varint();
+  return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+BatchEncoder::BatchEncoder(std::size_t dict_capacity) : dict_(dict_capacity) {}
+
+void BatchEncoder::EncodeBody(wire::Writer& w,
+                              const std::vector<EventRecord>& events) {
+  assert(!events.empty());
+  const std::uint64_t first_ts = events.front().ts;
+  // Any discontinuity — view start, go-back-N rewind, gap resend, or a send
+  // this encoder never saw — invalidates the receiver's dictionary state, so
+  // start a fresh generation from an empty dictionary.
+  const bool reset = next_ts_ == 0 || first_ts != next_ts_;
+  if (reset) {
+    ++gen_;
+    dict_.Reset();
+    have_last_aid_ = false;
+    prev_call_seq_ = 0;
+    ++stats_.resets;
+  }
+  const std::size_t start = w.size();
+  w.Varint(gen_);
+  w.U8(reset ? 1 : 0);
+  w.Varint(first_ts);
+  w.Varint(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Batches are contiguous timestamp runs (CommBuffer::SendRange slices
+    // them out of the record vector); the decoder reconstructs ts from the
+    // header, so it is never on the wire per record.
+    assert(events[i].ts == first_ts + i);
+    EncodeRecord(w, events[i]);
+  }
+  next_ts_ = events.back().ts + 1;
+  ++stats_.batches;
+  stats_.records += events.size();
+  stats_.bytes_out += w.size() - start;
+}
+
+void BatchEncoder::EncodeRecord(wire::Writer& w, const EventRecord& e) {
+  std::uint8_t tag = static_cast<std::uint8_t>(e.type) & kTypeMask;
+  if (e.type == EventType::kNewView) {
+    w.U8(tag);
+    w.Varint(e.view.primary);
+    w.Varint(e.view.backups.size());
+    for (Mid m : e.view.backups) w.Varint(m);
+    w.Varint(e.history.entries().size());
+    for (const Viewstamp& vs : e.history.entries()) {
+      w.Varint(vs.view.counter);
+      w.Varint(vs.view.mid);
+      w.Varint(vs.ts);
+    }
+    PutVarBytes(w, e.gstate);
+    return;
+  }
+  const bool has_call = e.type == EventType::kCompletedCall &&
+                        (e.call_seq != 0 || !e.result.empty() ||
+                         !e.nested_pset.empty());
+  const bool same_aid = have_last_aid_ && e.sub_aid.aid == last_aid_;
+  if (has_call) tag |= kTagHasCall;
+  if (same_aid) tag |= kTagSameAid;
+  if (!e.effects.empty()) tag |= kTagHasEffects;
+  if (!e.plist.empty()) tag |= kTagHasPlist;
+  w.U8(tag);
+  if (!same_aid) {
+    PutAid(w, e.sub_aid.aid);
+    last_aid_ = e.sub_aid.aid;
+    have_last_aid_ = true;
+  }
+  w.Varint(e.sub_aid.sub);
+  if (!e.effects.empty()) {
+    w.Varint(e.effects.size());
+    for (const ObjectEffect& fx : e.effects) EncodeEffect(w, fx);
+  }
+  if (has_call) {
+    // Call sequence numbers are (caller mid << 32 | counter): consecutive
+    // calls from one client differ by 1, so the zig-zag delta is one byte in
+    // steady state.
+    w.ZigZag(static_cast<std::int64_t>(e.call_seq - prev_call_seq_));
+    prev_call_seq_ = e.call_seq;
+    PutVarBytes(w, e.result);
+    w.Varint(e.nested_pset.size());
+    for (const PsetEntry& p : e.nested_pset) {
+      w.Varint(p.groupid);
+      w.Varint(p.vs.view.counter);
+      w.Varint(p.vs.view.mid);
+      w.Varint(p.vs.ts);
+      w.Varint(p.sub);
+    }
+  }
+  if (!e.plist.empty()) {
+    w.Varint(e.plist.size());
+    for (GroupId g : e.plist) w.Varint(g);
+  }
+}
+
+void BatchEncoder::EncodeEffect(wire::Writer& w, const ObjectEffect& fx) {
+  std::optional<std::uint32_t> slot = dict_.Find(fx.uid);
+  std::uint8_t uid_op;
+  if (slot) {
+    uid_op = kUidHit;
+    ++stats_.dict_hits;
+  } else if (fx.uid.size() <= kMaxDictUid) {
+    uid_op = kUidInsert;
+    ++stats_.dict_inserts;
+  } else {
+    uid_op = kUidLiteral;
+  }
+  bool use_delta = false;
+  wire::ByteDelta delta;
+  if (fx.tentative && uid_op == kUidHit) {
+    delta = wire::DiffBytes(dict_.BaseAt(*slot), *fx.tentative);
+    const std::size_t delta_size =
+        wire::VarintSize(delta.prefix) + wire::VarintSize(delta.suffix) +
+        wire::VarintSize(delta.mid.size()) + delta.mid.size();
+    const std::size_t literal_size =
+        wire::VarintSize(fx.tentative->size()) + fx.tentative->size();
+    use_delta = delta_size < literal_size;
+  }
+  std::uint8_t op = uid_op;
+  if (fx.mode == LockMode::kWrite) op |= kOpWrite;
+  if (fx.tentative) op |= kOpHasTentative;
+  if (use_delta) op |= kOpDelta;
+  w.U8(op);
+  switch (uid_op) {
+    case kUidHit:
+      w.Varint(*slot);
+      break;
+    case kUidInsert:
+      PutVarString(w, fx.uid);
+      slot = dict_.Insert(fx.uid);
+      break;
+    default:
+      PutVarString(w, fx.uid);
+      break;
+  }
+  if (fx.tentative) {
+    if (use_delta) {
+      w.Varint(delta.prefix);
+      w.Varint(delta.suffix);
+      PutVarString(w, delta.mid);
+      ++stats_.tentative_deltas;
+    } else {
+      PutVarString(w, *fx.tentative);
+      ++stats_.tentative_literals;
+    }
+    // The slot's base tracks the last replicated version, so the next write
+    // to this key deltas against what the decoder now holds.
+    if (slot) dict_.SetBase(*slot, *fx.tentative);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+BatchDecoder::BatchDecoder(std::size_t dict_capacity) : dict_(dict_capacity) {}
+
+void BatchDecoder::Reset() {
+  bound_ = false;
+  viewid_ = ViewId{};
+  from_ = 0;
+  gen_ = 0;
+  next_ts_ = 0;
+  have_last_aid_ = false;
+  last_aid_ = Aid{};
+  prev_call_seq_ = 0;
+  dict_.Reset();
+}
+
+BatchOutcome BatchDecoder::DecodeBody(wire::Reader& r, ViewId viewid, Mid from,
+                                      std::vector<EventRecord>& out,
+                                      std::uint64_t& last_ts) {
+  const std::uint64_t gen = r.Varint();
+  const std::uint8_t flags = r.U8();
+  const std::uint64_t first_ts = r.Varint();
+  const std::uint64_t count = GetVarCount(r);
+  if (!r.ok() || flags > 1 || gen == 0 || first_ts == 0 || count == 0) {
+    r.MarkBad();
+    return BatchOutcome::kBad;
+  }
+  last_ts = first_ts + count - 1;
+  const bool reset = (flags & 1) != 0;
+  const bool same_stream = bound_ && viewid == viewid_ && from == from_;
+  if (reset) {
+    // A duplicated reset batch must not replay: re-running its dictionary
+    // mutations would rewind state the encoder has since moved past.
+    if (same_stream && gen <= gen_) return BatchOutcome::kStale;
+  } else {
+    if (!same_stream || gen > gen_) return BatchOutcome::kUnsynced;
+    if (gen < gen_ || first_ts < next_ts_) return BatchOutcome::kStale;
+    if (first_ts > next_ts_) return BatchOutcome::kUnsynced;
+  }
+
+  // Decode against a trial copy: a batch either commits whole or leaves the
+  // decoder exactly as it was (no partial dictionary mutations).
+  BatchDecoder trial = *this;
+  if (reset) {
+    trial.bound_ = true;
+    trial.viewid_ = viewid;
+    trial.from_ = from;
+    trial.gen_ = gen;
+    trial.have_last_aid_ = false;
+    trial.prev_call_seq_ = 0;
+    trial.dict_.Reset();
+  }
+  std::vector<EventRecord> records;
+  records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    records.push_back(trial.DecodeRecord(r, first_ts + i));
+  }
+  if (!r.ok()) {
+    // A batch that bound to this stream but does not parse poisons it: force
+    // every later in-sequence batch to kUnsynced so the cohort nacks and the
+    // primary's resend re-opens the stream with a reset batch.
+    bound_ = false;
+    return BatchOutcome::kBad;
+  }
+  trial.next_ts_ = first_ts + count;
+  *this = std::move(trial);
+  out = std::move(records);
+  return BatchOutcome::kOk;
+}
+
+EventRecord BatchDecoder::DecodeRecord(wire::Reader& r, std::uint64_t ts) {
+  EventRecord e;
+  e.ts = ts;
+  const std::uint8_t tag = r.U8();
+  const std::uint8_t t = tag & kTypeMask;
+  if (t > static_cast<std::uint8_t>(EventType::kNewView) || (tag & 0x80)) {
+    r.MarkBad();
+    return e;
+  }
+  e.type = static_cast<EventType>(t);
+  if (e.type == EventType::kNewView) {
+    if (tag & (kTagHasCall | kTagSameAid | kTagHasEffects | kTagHasPlist)) {
+      r.MarkBad();
+      return e;
+    }
+    e.view.primary = GetVar32(r);
+    const std::uint64_t nb = GetVarCount(r);
+    e.view.backups.reserve(static_cast<std::size_t>(nb));
+    for (std::uint64_t i = 0; i < nb && r.ok(); ++i) {
+      e.view.backups.push_back(GetVar32(r));
+    }
+    const std::uint64_t nh = GetVarCount(r);
+    std::vector<Viewstamp> entries;
+    entries.reserve(static_cast<std::size_t>(nh));
+    for (std::uint64_t i = 0; i < nh && r.ok(); ++i) {
+      Viewstamp vs;
+      vs.view.counter = r.Varint();
+      vs.view.mid = GetVar32(r);
+      vs.ts = r.Varint();
+      entries.push_back(vs);
+    }
+    e.history = History::FromEntries(std::move(entries));
+    e.gstate = GetVarBytes(r);
+    return e;
+  }
+  if (tag & kTagSameAid) {
+    if (!have_last_aid_) {
+      r.MarkBad();
+      return e;
+    }
+    e.sub_aid.aid = last_aid_;
+  } else {
+    e.sub_aid.aid = GetAid(r);
+    last_aid_ = e.sub_aid.aid;
+    have_last_aid_ = true;
+  }
+  e.sub_aid.sub = GetVar32(r);
+  if (tag & kTagHasEffects) {
+    const std::uint64_t n = GetVarCount(r);
+    e.effects.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      e.effects.push_back(DecodeEffect(r));
+    }
+  }
+  if (tag & kTagHasCall) {
+    if (e.type != EventType::kCompletedCall) {
+      r.MarkBad();
+      return e;
+    }
+    e.call_seq = prev_call_seq_ + static_cast<std::uint64_t>(r.ZigZag());
+    prev_call_seq_ = e.call_seq;
+    e.result = GetVarBytes(r);
+    const std::uint64_t n = GetVarCount(r);
+    e.nested_pset.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      PsetEntry p;
+      p.groupid = r.Varint();
+      p.vs.view.counter = r.Varint();
+      p.vs.view.mid = GetVar32(r);
+      p.vs.ts = r.Varint();
+      p.sub = GetVar32(r);
+      e.nested_pset.push_back(p);
+    }
+  }
+  if (tag & kTagHasPlist) {
+    const std::uint64_t n = GetVarCount(r);
+    e.plist.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      e.plist.push_back(r.Varint());
+    }
+  }
+  return e;
+}
+
+ObjectEffect BatchDecoder::DecodeEffect(wire::Reader& r) {
+  ObjectEffect fx;
+  const std::uint8_t op = r.U8();
+  const std::uint8_t uid_op = op & kUidOpMask;
+  const bool has_tentative = (op & kOpHasTentative) != 0;
+  const bool use_delta = (op & kOpDelta) != 0;
+  if ((op & ~(kUidOpMask | kOpWrite | kOpHasTentative | kOpDelta)) != 0 ||
+      uid_op > kUidLiteral || (use_delta && uid_op != kUidHit) ||
+      (use_delta && !has_tentative)) {
+    r.MarkBad();
+    return fx;
+  }
+  fx.mode = (op & kOpWrite) ? LockMode::kWrite : LockMode::kRead;
+  std::optional<std::uint32_t> slot;
+  switch (uid_op) {
+    case kUidHit: {
+      const std::uint32_t s = GetVar32(r);
+      if (!r.ok() || !dict_.ValidSlot(s)) {
+        r.MarkBad();
+        return fx;
+      }
+      fx.uid = dict_.UidAt(s);
+      slot = s;
+      break;
+    }
+    case kUidInsert: {
+      fx.uid = GetVarString(r);
+      if (!r.ok() || fx.uid.size() > kMaxDictUid) {
+        r.MarkBad();
+        return fx;
+      }
+      slot = dict_.Insert(fx.uid);
+      break;
+    }
+    default:
+      fx.uid = GetVarString(r);
+      break;
+  }
+  if (has_tentative) {
+    std::string value;
+    if (use_delta) {
+      const std::uint64_t prefix = r.Varint();
+      const std::uint64_t suffix = r.Varint();
+      const std::string mid = GetVarString(r);
+      if (!r.ok()) return fx;
+      auto applied = wire::ApplyDelta(dict_.BaseAt(*slot), prefix, suffix, mid);
+      if (!applied) {
+        r.MarkBad();
+        return fx;
+      }
+      value = std::move(*applied);
+    } else {
+      value = GetVarString(r);
+      if (!r.ok()) return fx;
+    }
+    if (slot) dict_.SetBase(*slot, value);
+    fx.tentative = std::move(value);
+  }
+  return fx;
+}
+
+}  // namespace vsr::vr

@@ -1,0 +1,123 @@
+// Compression codec for the replicated event stream (DESIGN.md §8).
+//
+// The primary→backup connection is the hot path VR-88's whole design
+// optimizes (events stream through the communication buffer instead of being
+// forced to stable storage), so its frames are worth compressing. Each
+// primary↔backup pair shares a stateful codec: a BatchEncoder lives in the
+// CommBuffer's per-backup state, a BatchDecoder in the receiving cohort.
+// Compression exploits three redundancies:
+//   * object uids repeat across records (hot keys) — a shared KeyDict maps
+//     them to small slot numbers;
+//   * successive versions of an object are usually near-identical — tentative
+//     values are delta-encoded against the slot's last replicated version;
+//   * the fixed-width integers of the raw layout (timestamps, viewids, call
+//     sequence numbers) are small or change slowly — varint/zig-zag packing
+//     plus implicit per-batch timestamps remove most of their bytes.
+//
+// Because the codec is stateful and the network loses, reorders, and
+// duplicates frames, every compressed batch carries a generation number and
+// its first timestamp. The encoder bumps the generation and starts from an
+// empty dictionary (a "reset batch") whenever the batch does not continue
+// exactly where the previous one ended — which is precisely what happens on
+// view start, go-back-N retransmission, and gap-request resends, so those
+// paths need no special cases. The decoder accepts a batch only if it is a
+// newer-generation reset or the exact next in-sequence batch; everything
+// else is a stale duplicate (dropped) or a sync loss (reported so the cohort
+// can nack, which makes the primary resend — and resends auto-reset).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vr/events.h"
+#include "vr/types.h"
+#include "wire/buffer.h"
+#include "wire/dict.h"
+
+namespace vsr::vr {
+
+enum class CompressionMode : std::uint8_t {
+  kRaw = 0,   // body is the uncompressed record layout
+  kDict = 1,  // body is the stateful dictionary/delta layout (§8.4)
+};
+
+// Uids longer than this are encoded as literals and never enter the
+// dictionary (slot numbers would not pay for themselves).
+inline constexpr std::size_t kMaxDictUid = 128;
+inline constexpr std::size_t kDefaultDictCapacity = 64;
+
+struct CodecStats {
+  std::uint64_t batches = 0;
+  std::uint64_t records = 0;
+  std::uint64_t resets = 0;  // reset batches emitted (gen bumps)
+  std::uint64_t dict_hits = 0;
+  std::uint64_t dict_inserts = 0;
+  std::uint64_t tentative_deltas = 0;    // versions shipped as deltas
+  std::uint64_t tentative_literals = 0;  // versions shipped whole
+  std::uint64_t bytes_out = 0;           // compressed body bytes emitted
+};
+
+class BatchEncoder {
+ public:
+  explicit BatchEncoder(std::size_t dict_capacity = kDefaultDictCapacity);
+
+  // Appends the compressed body for `events` (a non-empty run of records
+  // with consecutive timestamps, as CommBuffer batches always are) to `w`.
+  // Auto-resets when events.front().ts is not the expected continuation.
+  void EncodeBody(wire::Writer& w, const std::vector<EventRecord>& events);
+
+  const CodecStats& stats() const { return stats_; }
+
+ private:
+  void EncodeRecord(wire::Writer& w, const EventRecord& e);
+  void EncodeEffect(wire::Writer& w, const ObjectEffect& fx);
+
+  std::uint64_t gen_ = 0;      // current generation; 0 = nothing sent yet
+  std::uint64_t next_ts_ = 0;  // expected first ts of the next batch
+  bool have_last_aid_ = false;
+  Aid last_aid_;
+  std::uint64_t prev_call_seq_ = 0;
+  wire::KeyDict dict_;
+  CodecStats stats_;
+};
+
+enum class BatchOutcome : std::uint8_t {
+  kOk = 0,        // decoded; records returned
+  kStale = 1,     // duplicate of an already-consumed batch; drop silently
+  kUnsynced = 2,  // decoder lost sync; caller should nack (gap request)
+  kBad = 3,       // malformed; reader marked bad, decoder state untouched
+};
+
+class BatchDecoder {
+ public:
+  explicit BatchDecoder(std::size_t dict_capacity = kDefaultDictCapacity);
+
+  // Decodes one compressed body. (viewid, from) identify the stream: a reset
+  // batch (re)binds the decoder to it. `last_ts` is set to the batch's
+  // highest timestamp whenever the header parses, so a kUnsynced caller
+  // knows what to nack for. Decoding runs against a trial copy of the
+  // decoder state and commits only if the whole batch parses; a parse
+  // failure additionally unbinds the stream, so every later in-sequence
+  // batch reports kUnsynced until a reset batch arrives.
+  BatchOutcome DecodeBody(wire::Reader& r, ViewId viewid, Mid from,
+                          std::vector<EventRecord>& out,
+                          std::uint64_t& last_ts);
+
+  void Reset();
+
+ private:
+  EventRecord DecodeRecord(wire::Reader& r, std::uint64_t ts);
+  ObjectEffect DecodeEffect(wire::Reader& r);
+
+  bool bound_ = false;
+  ViewId viewid_;
+  Mid from_ = 0;
+  std::uint64_t gen_ = 0;
+  std::uint64_t next_ts_ = 0;
+  bool have_last_aid_ = false;
+  Aid last_aid_;
+  std::uint64_t prev_call_seq_ = 0;
+  wire::KeyDict dict_;
+};
+
+}  // namespace vsr::vr

@@ -29,7 +29,11 @@ void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
   base_ts_ = 0;
   records_.clear();
   state_.clear();
-  for (Mid b : backups_) state_[b] = BackupState{};
+  for (Mid b : backups_) {
+    BackupState st;
+    st.encoder = BatchEncoder(options_.dict_capacity);
+    state_[b] = std::move(st);
+  }
 }
 
 void CommBuffer::Stop() {
@@ -103,6 +107,11 @@ std::uint64_t CommBuffer::AckedTs(Mid backup) const {
   return it == state_.end() ? 0 : it->second.acked;
 }
 
+const CodecStats* CommBuffer::encoder_stats(Mid backup) const {
+  auto it = state_.find(backup);
+  return it == state_.end() ? nullptr : &it->second.encoder.stats();
+}
+
 void CommBuffer::OnAck(const BufferAckMsg& ack) {
   if (!active_ || ack.viewid != viewid_) return;
   if (ack.group != group_) {
@@ -121,6 +130,7 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
     ++stats_.acks_rejected;
     return;
   }
+  ++stats_.acks_received;
   BackupState& st = it->second;
   const bool was_stalled = st.sent >= st.acked + options_.window;
   const bool progress = ack.ts > st.acked;
@@ -271,12 +281,21 @@ void CommBuffer::SendTo(Mid backup) {
 // and the watermark is the minimum ack.
 void CommBuffer::SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi) {
   assert(lo >= base_ts_ && hi <= last_ts());
+  auto st = state_.find(backup);
   while (lo < hi) {
     const std::uint64_t end = std::min(hi, lo + options_.max_batch);
     BufferBatchMsg batch;
     batch.group = group_;
     batch.viewid = viewid_;
     batch.from = self_;
+    // Compression binds at Encode time (the one encode a send performs), so
+    // the events vector stays inspectable and the stateful encoder observes
+    // batches exactly in transmission order.
+    if (options_.compression == CompressionMode::kDict &&
+        st != state_.end()) {
+      batch.mode = CompressionMode::kDict;
+      batch.codec = &st->second.encoder;
+    }
     batch.events.assign(
         records_.begin() + static_cast<std::ptrdiff_t>(lo - base_ts_),
         records_.begin() + static_cast<std::ptrdiff_t>(end - base_ts_));

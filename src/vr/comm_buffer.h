@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sim/simulation.h"
+#include "vr/batch_codec.h"
 #include "vr/events.h"
 #include "vr/history.h"
 #include "vr/messages.h"
@@ -56,6 +57,12 @@ struct CommBufferOptions {
   std::size_t max_batch = 64;
   // Max in-flight (sent but unacknowledged) records per backup.
   std::size_t window = 1024;
+  // Wire compression of batches (DESIGN.md §8): kDict delta/dictionary-
+  // encodes each batch against per-backup codec state. kRaw (the default)
+  // keeps the uncompressed layout.
+  CompressionMode compression = CompressionMode::kRaw;
+  // Hot-key dictionary slots per backup connection (kDict only).
+  std::size_t dict_capacity = kDefaultDictCapacity;
 };
 
 class CommBuffer {
@@ -142,9 +149,16 @@ class CommBuffer {
     std::uint64_t buffer_high_water = 0;
     // Acks discarded: wrong group, unknown sender, or ts beyond last_ts().
     std::uint64_t acks_rejected = 0;
+    // Acks accepted from backups of this view. With backup-side ack
+    // coalescing on, this (and the kBufferAck frame count) drops while the
+    // replication watermark still advances.
+    std::uint64_t acks_received = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
+
+  // Compression counters of `backup`'s encoder (nullptr if unknown backup).
+  const CodecStats* encoder_stats(Mid backup) const;
 
  private:
   struct PendingForce {
@@ -162,6 +176,9 @@ class CommBuffer {
     std::uint64_t gap_resent_hi = 0;
     // Ack deadline while records are in flight (0 = nothing outstanding).
     sim::Time deadline = 0;
+    // Stateful wire compressor for this connection (kDict mode). Fresh per
+    // view; self-resets on any send discontinuity (go-back-N, gap resend).
+    BatchEncoder encoder;
   };
 
   void ScheduleFlush(sim::Duration delay);

@@ -129,6 +129,8 @@ struct EventRecord {
     e.sub_aid = id;
     return e;
   }
+  bool operator==(const EventRecord&) const = default;
+
   static EventRecord NewView(View v, History h, std::vector<std::uint8_t> g) {
     EventRecord e;
     e.type = EventType::kNewView;

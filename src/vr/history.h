@@ -62,6 +62,14 @@ class History {
   const std::vector<Viewstamp>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }
 
+  static History FromEntries(std::vector<Viewstamp> entries) {
+    History h;
+    h.entries_ = std::move(entries);
+    return h;
+  }
+
+  bool operator==(const History&) const = default;
+
   void Encode(wire::Writer& w) const {
     w.Vector(entries_, [&](const Viewstamp& v) { v.Encode(w); });
   }

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "vr/batch_codec.h"
 #include "vr/events.h"
 #include "vr/history.h"
 #include "vr/types.h"
@@ -175,23 +176,30 @@ struct BufferBatchMsg {
   GroupId group = 0;
   ViewId viewid;
   Mid from = 0;
-  // Contiguous run of event records, in timestamp order.
+  // Contiguous run of event records, in timestamp order. Always populated on
+  // the sending side regardless of compression mode — compression happens at
+  // Encode time, so tests and observers can inspect records directly.
   std::vector<EventRecord> events;
 
-  void Encode(wire::Writer& w) const {
-    w.U64(group);
-    viewid.Encode(w);
-    w.U32(from);
-    w.Vector(events, [&](const EventRecord& e) { e.Encode(w); });
-  }
-  static BufferBatchMsg Decode(wire::Reader& r) {
-    BufferBatchMsg m;
-    m.group = r.U64();
-    m.viewid = ViewId::Decode(r);
-    m.from = r.U32();
-    m.events = r.Vector<EventRecord>([&] { return EventRecord::Decode(r); });
-    return m;
-  }
+  // Wire compression (DESIGN.md §8). `mode` selects the body layout after
+  // the common header; `codec` is transient plumbing installed by CommBuffer
+  // just before the single Encode every send performs (never serialized,
+  // never owned; a null codec encodes raw).
+  CompressionMode mode = CompressionMode::kRaw;
+  BatchEncoder* codec = nullptr;
+
+  // Decode-side outcome for mode == kDict (see BatchOutcome). `events` is
+  // empty in both non-Ok cases; `last_ts` names the batch's highest
+  // timestamp so an unsynced receiver knows what range to nack.
+  bool stale = false;
+  bool unsynced = false;
+  std::uint64_t last_ts = 0;
+
+  void Encode(wire::Writer& w) const;
+  // Raw-only decode: a compressed body without a decoder marks the reader
+  // bad. Cohorts pass their per-connection decoder via the second overload.
+  static BufferBatchMsg Decode(wire::Reader& r) { return Decode(r, nullptr); }
+  static BufferBatchMsg Decode(wire::Reader& r, BatchDecoder* dec);
 };
 
 struct BufferAckMsg {

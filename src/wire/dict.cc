@@ -1,0 +1,91 @@
+#include "wire/dict.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsr::wire {
+
+KeyDict::KeyDict(std::size_t capacity) : slots_(std::max<std::size_t>(capacity, 1)) {}
+
+void KeyDict::Reset() {
+  for (Slot& s : slots_) s = Slot{};
+  used_ = 0;
+  next_ = 0;
+  index_.clear();
+}
+
+std::optional<std::uint32_t> KeyDict::Find(std::string_view uid) const {
+  auto it = index_.find(uid);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t KeyDict::Insert(std::string uid) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(next_);
+  next_ = (next_ + 1) % slots_.size();
+  Slot& s = slots_[slot];
+  if (s.occupied) {
+    index_.erase(s.uid);
+  } else {
+    ++used_;
+  }
+  s.occupied = true;
+  s.uid = std::move(uid);
+  s.base.clear();
+  // A malformed stream may insert a uid already present elsewhere; the index
+  // tracks the newest slot, the stale slot just ages out of round-robin.
+  index_[s.uid] = slot;
+  return slot;
+}
+
+bool KeyDict::ValidSlot(std::uint32_t slot) const {
+  return slot < slots_.size() && slots_[slot].occupied;
+}
+
+const std::string& KeyDict::UidAt(std::uint32_t slot) const {
+  assert(ValidSlot(slot));
+  return slots_[slot].uid;
+}
+
+const std::string& KeyDict::BaseAt(std::uint32_t slot) const {
+  assert(ValidSlot(slot));
+  return slots_[slot].base;
+}
+
+void KeyDict::SetBase(std::uint32_t slot, std::string base) {
+  assert(ValidSlot(slot));
+  slots_[slot].base = std::move(base);
+}
+
+ByteDelta DiffBytes(std::string_view base, std::string_view target) {
+  ByteDelta d;
+  const std::size_t max_common = std::min(base.size(), target.size());
+  std::size_t p = 0;
+  while (p < max_common && base[p] == target[p]) ++p;
+  std::size_t s = 0;
+  while (s < max_common - p &&
+         base[base.size() - 1 - s] == target[target.size() - 1 - s]) {
+    ++s;
+  }
+  d.prefix = p;
+  d.suffix = s;
+  d.mid = target.substr(p, target.size() - p - s);
+  return d;
+}
+
+std::optional<std::string> ApplyDelta(std::string_view base,
+                                      std::uint64_t prefix,
+                                      std::uint64_t suffix,
+                                      std::string_view mid) {
+  if (prefix > base.size() || suffix > base.size() - prefix) {
+    return std::nullopt;
+  }
+  std::string out;
+  out.reserve(prefix + mid.size() + suffix);
+  out.append(base.substr(0, prefix));
+  out.append(mid);
+  out.append(base.substr(base.size() - suffix));
+  return out;
+}
+
+}  // namespace vsr::wire

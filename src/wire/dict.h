@@ -1,0 +1,88 @@
+// Hot-key dictionary and byte-delta helpers for the compressed replication
+// stream (DESIGN.md §8).
+//
+// A KeyDict is a fixed-capacity slot array mapping recently-seen object uids
+// to small slot numbers, with each slot also carrying the object's last
+// replicated version (the delta base). The encoder and decoder each hold one
+// and mutate it with identical, deterministic rules — insertion always takes
+// the next round-robin slot, evicting its occupant — so that after the same
+// record stream both ends hold byte-identical dictionaries. Any divergence
+// (loss, reorder) is handled a level up by the batch codec's generation
+// numbers, never by the dictionary itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsr::wire {
+
+class KeyDict {
+ public:
+  explicit KeyDict(std::size_t capacity = 64);
+
+  // Forgets everything; capacity is retained.
+  void Reset();
+
+  // Slot holding `uid`, if present.
+  std::optional<std::uint32_t> Find(std::string_view uid) const;
+
+  // Inserts `uid` at the next round-robin slot (evicting that slot's current
+  // occupant and clearing its base) and returns the slot.
+  std::uint32_t Insert(std::string uid);
+
+  // True iff `slot` is in range and currently holds a uid.
+  bool ValidSlot(std::uint32_t slot) const;
+
+  const std::string& UidAt(std::uint32_t slot) const;
+  const std::string& BaseAt(std::uint32_t slot) const;
+  void SetBase(std::uint32_t slot, std::string base);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return used_; }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    std::string uid;
+    std::string base;  // last replicated version; "" until a write is seen
+  };
+  std::vector<Slot> slots_;
+  std::size_t used_ = 0;
+  std::size_t next_ = 0;  // round-robin insertion cursor
+  std::map<std::string, std::uint32_t, std::less<>> index_;
+};
+
+// Byte-delta of `target` against `base`: target = base[0, prefix) + mid +
+// base[base.size() - suffix, base.size()). DiffBytes picks the longest
+// common prefix, then the longest common suffix of the remainders.
+struct ByteDelta {
+  std::uint64_t prefix = 0;
+  std::uint64_t suffix = 0;
+  std::string_view mid;  // view into the target passed to DiffBytes
+};
+
+ByteDelta DiffBytes(std::string_view base, std::string_view target);
+
+// Reconstructs the target; returns nullopt when prefix + suffix exceed the
+// base (a corrupt or forged delta).
+std::optional<std::string> ApplyDelta(std::string_view base,
+                                      std::uint64_t prefix,
+                                      std::uint64_t suffix,
+                                      std::string_view mid);
+
+// Encoded size of a LEB128 varint; used by the encoder to decide whether a
+// delta actually beats the literal encoding.
+constexpr std::size_t VarintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vsr::wire
