@@ -10,6 +10,10 @@
 # CHECK_BENCH_SMOKE=1 runs every bench binary at ~1/10th workload (see
 # bench::Scaled) and bench_micro for a single tiny iteration — catches bench
 # bit-rot in seconds instead of waiting for full experiment runs.
+#
+# CHECK_SOAK=1 re-runs the dead-backup soak at ~10x rounds: with one backup
+# permanently crashed, the primary's resident record vector must stay
+# O(window) (the StableTs() - window GC floor, DESIGN.md §9).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,7 +58,12 @@ if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   # The comm-buffer / replication-path suites, where the windowed protocol
   # does pointer arithmetic over the GC'd record vector.
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test'
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test'
+fi
+
+if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
+  echo "== soak (dead backup, GC bound) =="
+  CHECK_SOAK=1 build/tests/soak_test --gtest_filter='DeadBackupSoak.*'
 fi
 
 echo "== experiments =="

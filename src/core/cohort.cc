@@ -40,7 +40,11 @@ Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
             // §3 footnote 1: an abandoned force means a communication
             // failure — switch to running the view change algorithm.
             if (status_ == Status::kActive) BecomeViewManager();
-          }),
+          },
+          [this](Mid backup) { ServeSnapshot(backup); }),
+      snap_server_(
+          simulation, options.snapshot,
+          [this](Mid to, const vr::SnapshotChunkMsg& m) { SendMsg(to, m); }),
       reply_waiters_(simulation.scheduler()),
       prepare_waiters_(simulation.scheduler()),
       commit_waiters_(simulation.scheduler()),
@@ -96,6 +100,8 @@ void Cohort::Start() {
 
 void Cohort::ResetVolatileState() {
   buffer_.Stop();
+  snap_server_.Stop();
+  ClearSnapshotSink();
   tasks_.DestroyAll();
   store_.Clear();
   outcomes_.Clear();
@@ -263,6 +269,8 @@ void Cohort::OnFrame(const net::Frame& frame) {
     case vr::MsgType::kInitView:
     case vr::MsgType::kBufferBatch:
     case vr::MsgType::kBufferAck:
+    case vr::MsgType::kSnapshotChunk:
+    case vr::MsgType::kSnapshotAck:
       if (!from_peer) return;
       break;
     default:
@@ -297,6 +305,16 @@ void Cohort::OnFrame(const net::Frame& frame) {
     case vr::MsgType::kBufferAck: {
       auto m = vr::BufferAckMsg::Decode(r);
       if (r.ok() && m.group == group_ && IsActivePrimary()) buffer_.OnAck(m);
+      break;
+    }
+    case vr::MsgType::kSnapshotChunk: {
+      auto m = vr::SnapshotChunkMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnSnapshotChunk(m);
+      break;
+    }
+    case vr::MsgType::kSnapshotAck: {
+      auto m = vr::SnapshotAckMsg::Decode(r);
+      if (r.ok() && m.group == group_ && IsActivePrimary()) OnSnapshotAck(m);
       break;
     }
     case vr::MsgType::kCall: {

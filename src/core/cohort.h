@@ -38,6 +38,7 @@
 #include "vr/events.h"
 #include "vr/history.h"
 #include "vr/messages.h"
+#include "vr/snapshot.h"
 #include "vr/types.h"
 
 namespace vsr::core {
@@ -214,6 +215,15 @@ struct CohortStats {
   std::uint64_t records_stashed_out_of_order = 0;
   std::uint64_t records_applied_from_stash = 0;
   std::uint64_t gap_requests_sent = 0;
+  // Snapshot state transfer (DESIGN.md §9): whole gstate snapshots installed
+  // after falling behind the primary's GC watermark, and assembled payloads
+  // rejected before install (malformed — install is all-or-nothing).
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t snapshot_installs_rejected = 0;
+  // Partial installs dropped because the chunk stream went idle (the serving
+  // primary died or stood down): the payload is discarded wholesale and the
+  // cohort resumes answering view changes with its intact pre-transfer state.
+  std::uint64_t snapshot_installs_abandoned = 0;
   // Acks absorbed into an already-scheduled coalesced ack instead of being
   // sent as their own frame (options.ack_coalesce_delay > 0).
   std::uint64_t acks_coalesced = 0;
@@ -281,6 +291,12 @@ class Cohort : public net::FrameHandler {
   const std::vector<Mid>& configuration() const { return configuration_; }
   const CohortStats& stats() const { return stats_; }
   const vr::CommBuffer& buffer() const { return buffer_; }
+  const vr::SnapshotServer& snapshot_server() const { return snap_server_; }
+  // Highest contiguously applied record ts (as a backup of the current view).
+  std::uint64_t applied_ts() const { return applied_ts_; }
+  // A snapshot install is in flight: gstate is about to be replaced, so view
+  // changes treat this cohort as crashed-equivalent (DoAccept).
+  bool installing_snapshot() const { return installing_snapshot_; }
   const CohortOptions& options() const { return options_; }
   CohortOptions& mutable_options() { return options_; }
 
@@ -337,7 +353,24 @@ class Cohort : public net::FrameHandler {
   void OnBufferBatch(const vr::BufferBatchMsg& m);
   void ApplyRecord(const vr::EventRecord& rec);
   void DrainBatchStash();
-  void SendBufferAck(bool gap = false, std::uint64_t gap_hi = 0);
+  void SendBufferAck(bool gap = false, std::uint64_t gap_hi = 0,
+                     bool codec_reset = false);
+
+  // ---- snapshot state transfer (txn_server.cc, DESIGN.md §9) ----
+  // Primary side: serialize current gstate + history + prepared-txn
+  // metadata and start (or refresh) a chunked transfer to `backup`.
+  void ServeSnapshot(Mid backup);
+  std::shared_ptr<const std::vector<std::uint8_t>> BuildSnapshotPayload()
+      const;
+  void OnSnapshotAck(const vr::SnapshotAckMsg& m);
+  // Backup side: chunk assembly and the atomic install.
+  void OnSnapshotChunk(const vr::SnapshotChunkMsg& m);
+  bool InstallSnapshot(Viewstamp vs,
+                       const std::vector<std::uint8_t>& payload);
+  // Discards any partial transfer and clears crashed-equivalence (install
+  // done, view transition, or the idle-abandon timer below fired).
+  void ClearSnapshotSink();
+  void AbandonSnapshotInstall();
 
   // ---- server role (txn_server.cc) ----
   void OnCall(const vr::CallMsg& m);
@@ -428,6 +461,8 @@ class Cohort : public net::FrameHandler {
   txn::ObjectStore store_;
   txn::OutcomeTable outcomes_;
   vr::CommBuffer buffer_;
+  // Snapshot transfers to laggard backups (primary side, DESIGN.md §9).
+  vr::SnapshotServer snap_server_;
 
   // ---- view change bookkeeping ----
   struct AcceptRecord {
@@ -458,6 +493,18 @@ class Cohort : public net::FrameHandler {
   // Ack coalescing (options.ack_coalesce_delay): armed while a deferred
   // cumulative ack is pending; the send reads applied_ts_ at fire time.
   sim::TimerId ack_timer_ = sim::kNoTimer;
+  // Incoming snapshot assembly (backup side, DESIGN.md §9). While a transfer
+  // is in flight (`installing_snapshot_`) this cohort's gstate is about to
+  // be wholesale-replaced, so it answers view-change invitations as
+  // crashed-equivalent; the flag clears on install or view transition.
+  vr::SnapshotSink snap_sink_;
+  bool installing_snapshot_ = false;
+  // Armed on every accepted chunk; if the stream goes idle for
+  // options.snapshot.install_abandon_timeout the partial payload is dropped
+  // (all-or-nothing) so a dead transfer cannot leave this cohort
+  // crashed-equivalent forever — that would wedge view formation for good
+  // when the serving primary itself is the cohort that crashed.
+  sim::TimerId snap_abandon_timer_ = sim::kNoTimer;
 
   // ---- failure detection ----
   std::map<Mid, sim::Time> last_heard_;

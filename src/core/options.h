@@ -5,6 +5,7 @@
 
 #include "sim/time.h"
 #include "vr/comm_buffer.h"
+#include "vr/snapshot.h"
 
 namespace vsr::core {
 
@@ -27,6 +28,9 @@ struct CohortOptions {
 
   // ---- Communication buffer ----
   vr::CommBufferOptions buffer;
+
+  // ---- Snapshot state transfer (DESIGN.md §9) ----
+  vr::SnapshotTransferOptions snapshot;
 
   // ---- Transactions ----
   sim::Duration lock_wait_timeout = 150 * sim::kMillisecond;

@@ -101,12 +101,13 @@ void Cohort::RestoreGstate(const std::vector<std::uint8_t>& bytes) {
 // Backup replication (§3.3)
 // ---------------------------------------------------------------------------
 
-void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi) {
+void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi, bool codec_reset) {
   // Coalescing: a gap-free ack only moves the cumulative watermark, so it
   // may wait briefly for later batches and ride out as one frame carrying
-  // the latest applied_ts_. Gap requests are urgent and always sent now
-  // (folding any deferred ack into them — the ack field is cumulative).
-  if (!gap && options_.ack_coalesce_delay > 0) {
+  // the latest applied_ts_. Gap requests (and codec-reset nacks) are urgent
+  // and always sent now (folding any deferred ack into them — the ack field
+  // is cumulative).
+  if (!gap && !codec_reset && options_.ack_coalesce_delay > 0) {
     if (ack_timer_ != sim::kNoTimer) {
       ++stats_.acks_coalesced;  // rides the already-scheduled frame
       return;
@@ -133,6 +134,7 @@ void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi) {
   ack.ts = applied_ts_;
   ack.gap = gap;
   ack.gap_hi = gap_hi;
+  ack.codec_reset = codec_reset;
   SendMsg(cur_view_.primary, ack);
 }
 
@@ -200,17 +202,30 @@ void Cohort::ApplyRecord(const vr::EventRecord& rec) {
 }
 
 void Cohort::OnBufferBatch(const vr::BufferBatchMsg& m) {
-  if (m.stale) return;  // duplicate of a compressed batch already consumed
+  if (m.stale) {
+    // Duplicate of a compressed batch already consumed. The resend means our
+    // ack for it was lost: the primary may have rewound to a checkpoint
+    // behind our watermark and will replay this range forever unless it
+    // learns where we really are. Re-send the cumulative ack.
+    if (status_ == Status::kActive && m.viewid == cur_viewid_ &&
+        m.from == cur_view_.primary && cur_view_.primary != self_) {
+      SendBufferAck();
+    }
+    return;
+  }
   if (m.unsynced) {
     // A compressed batch arrived whose dictionary context we missed (lost
     // predecessor, or we were reset). Nack the whole range: the primary's
-    // resend starts a fresh codec generation, restoring sync in one round
-    // trip. Only meaningful in steady state from our current primary.
+    // resend restores sync in one round trip — via a checkpoint rewind when
+    // its encoder has one covering our watermark, else (reset_needed: we
+    // never bound to its stream, or its generation is ahead of ours) via a
+    // fresh codec generation, which the codec_reset flag demands explicitly.
+    // Only meaningful in steady state from our current primary.
     if (status_ == Status::kActive && m.viewid == cur_viewid_ &&
         m.from == cur_view_.primary && cur_view_.primary != self_ &&
         m.last_ts > applied_ts_) {
       ++stats_.gap_requests_sent;
-      SendBufferAck(true, m.last_ts);
+      SendBufferAck(true, m.last_ts, m.reset_needed);
     }
     return;
   }
@@ -290,6 +305,166 @@ void Cohort::DrainBatchStash() {
     ++stats_.records_applied_from_stash;
     batch_stash_.erase(it);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot state transfer (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+// Primary side: a backup's first unreceived record fell below the buffer's GC
+// floor (CommBuffer routed it into state-transfer mode), so replaying the
+// record suffix can no longer catch it up. Serve it the whole gstate instead.
+void Cohort::ServeSnapshot(Mid backup) {
+  if (!IsActivePrimary() || !buffer_.active()) return;
+  // The snapshot reflects every record added so far (the primary applies its
+  // own effects at execution time), so it is identified by the viewstamp of
+  // the newest buffered record.
+  const Viewstamp vs{cur_viewid_, buffer_.last_ts()};
+  snap_server_.Serve(backup, vs, BuildSnapshotPayload());
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> Cohort::BuildSnapshotPayload()
+    const {
+  // Layout (DESIGN.md §9.2): history, length-prefixed gstate (object store +
+  // outcomes + completed-call replies, the same bytes a newview record
+  // carries), then the prepared-transaction set — a promoted backup must know
+  // which blocked transactions to query coordinators about (§3.4).
+  wire::Writer w;
+  history_.Encode(w);
+  const std::vector<std::uint8_t> gstate = SnapshotGstate();
+  w.Bytes(std::span<const std::uint8_t>(gstate));
+  w.U32(static_cast<std::uint32_t>(prepared_.size()));
+  for (const Aid& aid : prepared_) aid.Encode(w);
+  return std::make_shared<const std::vector<std::uint8_t>>(w.Take());
+}
+
+void Cohort::OnSnapshotAck(const vr::SnapshotAckMsg& m) {
+  snap_server_.OnAck(m);  // dispatch already gated on IsActivePrimary
+}
+
+// Backup side: assemble chunks, then install atomically.
+void Cohort::OnSnapshotChunk(const vr::SnapshotChunkMsg& m) {
+  // Same steady-state gate as record batches: only an active backup of the
+  // current view takes snapshots, and only from its primary. The snapshot
+  // itself must belong to this view (its ts indexes this view's records).
+  if (status_ != Status::kActive || m.viewid != cur_viewid_ ||
+      m.from != cur_view_.primary || cur_view_.primary == self_ ||
+      m.vs.view != cur_viewid_) {
+    return;
+  }
+  if (m.vs.ts <= applied_ts_) {
+    // The record stream caught us up past this snapshot before the transfer
+    // finished. A plain cumulative ack tells the primary to stand down.
+    ClearSnapshotSink();
+    SendBufferAck();
+    return;
+  }
+  if (!snap_sink_.OnChunk(m)) return;  // stray/forged chunk: no ack
+  // From the first accepted chunk until the install (or a view transition)
+  // this cohort's gstate is doomed to be replaced, so view changes must treat
+  // it as crashed-equivalent (DoAccept). A transfer whose stream dies is
+  // abandoned by the idle timer so that equivalence cannot outlive the
+  // serving primary.
+  installing_snapshot_ = true;
+  sim_.scheduler().Cancel(snap_abandon_timer_);
+  snap_abandon_timer_ =
+      sim_.scheduler().After(options_.snapshot.install_abandon_timeout,
+                             [this] {
+                               snap_abandon_timer_ = sim::kNoTimer;
+                               AbandonSnapshotInstall();
+                             });
+  if (snap_sink_.complete()) {
+    const Viewstamp vs = snap_sink_.vs();
+    const std::uint64_t total = snap_sink_.payload().size();
+    if (InstallSnapshot(vs, snap_sink_.payload())) {
+      ClearSnapshotSink();
+      // Final ack at the full offset ends the server's transfer; the buffer
+      // ack re-enters the record/ack stream at the snapshot's timestamp.
+      vr::SnapshotAckMsg ack;
+      ack.group = group_;
+      ack.viewid = cur_viewid_;
+      ack.from = self_;
+      ack.vs = vs;
+      ack.offset = total;
+      SendMsg(cur_view_.primary, ack);
+      SendBufferAck();
+    } else {
+      // Malformed payload (primary-side encoding bug): never install a
+      // partial state. Drop the transfer; the stat surfaces the fault.
+      ClearSnapshotSink();
+    }
+    return;
+  }
+  vr::SnapshotAckMsg ack;
+  ack.group = group_;
+  ack.viewid = cur_viewid_;
+  ack.from = self_;
+  ack.vs = snap_sink_.vs();
+  ack.offset = snap_sink_.offset();
+  SendMsg(cur_view_.primary, ack);
+}
+
+bool Cohort::InstallSnapshot(Viewstamp vs,
+                             const std::vector<std::uint8_t>& payload) {
+  // All-or-nothing: parse everything into temporaries and validate before
+  // touching any cohort state. A truncated or trailing-garbage payload is
+  // rejected wholesale.
+  wire::Reader r(payload);
+  vr::History hist = vr::History::Decode(r);
+  const std::vector<std::uint8_t> gstate = r.Bytes();
+  std::set<Aid> prepared;
+  const std::uint32_t prep_count = r.U32();
+  for (std::uint32_t i = 0; i < prep_count && r.ok(); ++i) {
+    prepared.insert(Aid::Decode(r));
+  }
+  if (!r.ok() || !r.AtEnd() || hist.Empty() ||
+      hist.Latest().view != vs.view || hist.Latest().ts > vs.ts) {
+    ++stats_.snapshot_installs_rejected;
+    return false;
+  }
+
+  history_ = std::move(hist);
+  // The primary's history entry trails its buffer (it advances the entry at
+  // view formation, not per record); the snapshot reflects records through
+  // vs.ts, so account for them.
+  history_.Advance(vs.ts);
+  RestoreGstate(gstate);
+  prepared_ = std::move(prepared);
+  // Restored blocked transactions look freshly active to the idle janitor
+  // and are queried via the normal §3.4 path if they stay quiet.
+  for (const Aid& aid : prepared_) txn_activity_[aid] = sim_.Now();
+  if (!prepared_.empty()) ArmQueryTimer();
+  // Everything the record stream had in flight is superseded wholesale.
+  pending_records_.clear();
+  batch_stash_.clear();
+  batch_decoder_.Reset();
+  applied_ts_ = vs.ts;
+  installing_snapshot_ = false;
+  ++stats_.snapshots_installed;
+  Trace("installed snapshot at %s (%zu bytes)", vs.ToString().c_str(),
+        payload.size());
+  return true;
+}
+
+void Cohort::ClearSnapshotSink() {
+  snap_sink_.Reset();
+  installing_snapshot_ = false;
+  sim_.scheduler().Cancel(snap_abandon_timer_);
+  snap_abandon_timer_ = sim::kNoTimer;
+}
+
+// The chunk stream went idle for install_abandon_timeout: the serving
+// primary crashed or stood down. Install is all-or-nothing, so drop every
+// assembled byte and resume answering view changes with the intact
+// pre-transfer gstate — staying crashed-equivalent behind a dead transfer
+// could block view formation forever (§4 conditions (1)-(3) all need
+// normal acceptances this cohort would otherwise never give again).
+void Cohort::AbandonSnapshotInstall() {
+  if (!snap_sink_.active() && !installing_snapshot_) return;
+  ++stats_.snapshot_installs_abandoned;
+  Trace("abandoning idle snapshot transfer (%zu bytes assembled)",
+        static_cast<std::size_t>(snap_sink_.offset()));
+  ClearSnapshotSink();
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@ void Cohort::BecomeViewManager() {
   ++stats_.view_changes_started;
   status_ = Status::kViewManager;
   buffer_.Stop();  // no longer operating as a primary
+  snap_server_.Stop();
   sim_.scheduler().Cancel(underling_timer_);
   underling_timer_ = sim::kNoTimer;
   MakeInvitations();
@@ -50,9 +51,12 @@ void Cohort::MakeInvitations() {
   // Record our own response.
   AcceptRecord self;
   self.from = self_;
-  self.crashed = !up_to_date_;
+  // A half-installed snapshot means our gstate is about to be wholesale
+  // replaced: for view formation we know nothing (crashed-equivalent), just
+  // like DoAccept reports to other managers.
+  self.crashed = !up_to_date_ || installing_snapshot_;
   self.last_vs = history_.Latest();
-  self.was_primary = up_to_date_ && cur_view_.primary == self_;
+  self.was_primary = !self.crashed && cur_view_.primary == self_;
   self.crash_viewid = cur_viewid_;
   accepts_[self_] = self;
 
@@ -78,12 +82,15 @@ void Cohort::DoAccept(ViewId vid, Mid inviter) {
   accept.group = group_;
   accept.invite_viewid = vid;
   accept.from = self_;
-  if (up_to_date_) {
+  if (up_to_date_ && !installing_snapshot_) {
     accept.crashed = false;
     accept.last_vs = history_.Latest();
     accept.was_primary = cur_view_.primary == self_ && !history_.Empty();
   } else {
     // "crash-accept" — state forgotten; report the stable-storage viewid.
+    // A cohort mid-snapshot-install is equivalent: its history claims
+    // applied_ts_ but its gstate is a torn mix the moment the install lands,
+    // so it must not be counted as (or promoted for) an up-to-date state.
     accept.crashed = true;
     accept.crash_viewid = cur_viewid_;
   }
@@ -109,6 +116,10 @@ void Cohort::OnInvite(const vr::InviteMsg& m) {
   sim_.scheduler().Cancel(invite_timer_);
   invite_timer_ = sim::kNoTimer;
   buffer_.Stop();
+  snap_server_.Stop();
+  // NOTE: snap_sink_ / installing_snapshot_ deliberately survive the
+  // invitation — the half-installed state is exactly what DoAccept must keep
+  // reporting as crashed-equivalent until a new view replaces the gstate.
   ++start_view_epoch_;  // cancel any in-flight StartView for an older viewid
   adopting_ = false;
   ArmUnderlingTimer();
@@ -206,6 +217,9 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
   // not process transactions: a unilateral tweak arrives here while still
   // "active" in the old view, and records must never mix buffers.
   buffer_.Stop();
+  snap_server_.Stop();
+  ClearSnapshotSink();  // a promoted cohort was not mid-install (it accepted
+                        // normally), but a stray transfer may linger
   status_ = Status::kUnderling;
   ArmUnderlingTimer();  // safety net if the stable write never completes
 
@@ -259,6 +273,7 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
 void Cohort::FinishStartViewAsPrimary(View v, ViewId vid) {
   buffer_.StartView(vid, v.backups, configuration_.size(), group_, self_,
                     &history_);
+  snap_server_.StartView(vid, group_, self_);
   // "it initializes the buffer to contain a single 'newview' event record;
   //  this record contains cur_view, history, and gstate."
   vr::EventRecord newview =
@@ -283,6 +298,8 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   RestoreGstate(newview.gstate);
   pending_records_.clear();
   batch_stash_.clear();
+  // The newview gstate supersedes any snapshot that was mid-transfer.
+  ClearSnapshotSink();
   applied_ts_ = newview_ts;
 
   const std::uint64_t epoch = ++start_view_epoch_;

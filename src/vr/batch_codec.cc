@@ -94,22 +94,90 @@ Aid GetAid(wire::Reader& r) {
 // Encoder
 // ---------------------------------------------------------------------------
 
-BatchEncoder::BatchEncoder(std::size_t dict_capacity) : dict_(dict_capacity) {}
+BatchEncoder::BatchEncoder(std::size_t dict_capacity)
+    : dict_(dict_capacity), ckpt_dict_(dict_capacity) {}
+
+void BatchEncoder::ForceReset() {
+  next_ts_ = 0;
+  ckpt_valid_ = false;
+}
+
+void BatchEncoder::AdvanceCheckpoint(std::uint64_t acked_ts,
+                                     const std::vector<EventRecord>& records,
+                                     std::uint64_t base_ts) {
+  if (!ckpt_valid_ || acked_ts < ckpt_ts_) return;
+  if (ckpt_ts_ <= base_ts || acked_ts > base_ts + records.size()) {
+    // Part of [ckpt_ts, acked_ts] is not resident (GC'd below, or an ack
+    // overtook the stream entirely): the checkpoint can no longer be kept in
+    // step with the decoder, so future resends must reset.
+    ckpt_valid_ = false;
+    return;
+  }
+  for (std::uint64_t ts = ckpt_ts_; ts <= acked_ts; ++ts) {
+    ReplayMutations(records[static_cast<std::size_t>(ts - base_ts - 1)]);
+  }
+  ckpt_ts_ = acked_ts + 1;
+}
+
+// Applies exactly the dictionary / aid / call_seq mutations EncodeRecord
+// performs — against the checkpoint copies, writing no bytes — so the
+// checkpoint tracks what the decoder's state is after consuming the record.
+void BatchEncoder::ReplayMutations(const EventRecord& e) {
+  if (e.type == EventType::kNewView) return;  // encodes without mutating
+  if (!(ckpt_have_last_aid_ && e.sub_aid.aid == ckpt_last_aid_)) {
+    ckpt_last_aid_ = e.sub_aid.aid;
+    ckpt_have_last_aid_ = true;
+  }
+  for (const ObjectEffect& fx : e.effects) {
+    std::optional<std::uint32_t> slot = ckpt_dict_.Find(fx.uid);
+    if (!slot && fx.uid.size() <= kMaxDictUid) {
+      slot = ckpt_dict_.Insert(fx.uid);
+    }
+    if (fx.tentative && slot) ckpt_dict_.SetBase(*slot, *fx.tentative);
+  }
+  const bool has_call = e.type == EventType::kCompletedCall &&
+                        (e.call_seq != 0 || !e.result.empty() ||
+                         !e.nested_pset.empty());
+  if (has_call) ckpt_prev_call_seq_ = e.call_seq;
+}
 
 void BatchEncoder::EncodeBody(wire::Writer& w,
                               const std::vector<EventRecord>& events) {
   assert(!events.empty());
   const std::uint64_t first_ts = events.front().ts;
-  // Any discontinuity — view start, go-back-N rewind, gap resend, or a send
-  // this encoder never saw — invalidates the receiver's dictionary state, so
-  // start a fresh generation from an empty dictionary.
-  const bool reset = next_ts_ == 0 || first_ts != next_ts_;
+  const bool continues = next_ts_ != 0 && first_ts == next_ts_;
+  // A retransmission rewinds exactly to the backup's cumulative ack — which
+  // is where the checkpoint sits. Restoring the checkpoint re-encodes the
+  // resent range as an in-sequence continuation of the live generation,
+  // keeping the dictionary (and its delta bases) instead of resetting.
+  const bool rewind =
+      !continues && ckpt_valid_ && gen_ != 0 && first_ts == ckpt_ts_;
+  if (rewind) {
+    dict_ = ckpt_dict_;
+    have_last_aid_ = ckpt_have_last_aid_;
+    last_aid_ = ckpt_last_aid_;
+    prev_call_seq_ = ckpt_prev_call_seq_;
+    ++stats_.rewinds;
+  }
+  // Any other discontinuity — view start, a receiver that asked for a reset,
+  // or a send this encoder cannot reconstruct — invalidates the receiver's
+  // dictionary state, so start a fresh generation from an empty dictionary.
+  const bool reset = !continues && !rewind;
   if (reset) {
     ++gen_;
     dict_.Reset();
     have_last_aid_ = false;
     prev_call_seq_ = 0;
     ++stats_.resets;
+    // The new generation starts here: checkpoint its (empty) opening state.
+    // A checkpoint from the dead generation would emit continuations the
+    // decoder drops as stale forever.
+    ckpt_valid_ = true;
+    ckpt_ts_ = first_ts;
+    ckpt_have_last_aid_ = false;
+    ckpt_last_aid_ = Aid{};
+    ckpt_prev_call_seq_ = 0;
+    ckpt_dict_.Reset();
   }
   const std::size_t start = w.size();
   w.Varint(gen_);
@@ -250,6 +318,7 @@ BatchDecoder::BatchDecoder(std::size_t dict_capacity) : dict_(dict_capacity) {}
 
 void BatchDecoder::Reset() {
   bound_ = false;
+  needs_reset_ = false;
   viewid_ = ViewId{};
   from_ = 0;
   gen_ = 0;
@@ -279,9 +348,18 @@ BatchOutcome BatchDecoder::DecodeBody(wire::Reader& r, ViewId viewid, Mid from,
     // mutations would rewind state the encoder has since moved past.
     if (same_stream && gen <= gen_) return BatchOutcome::kStale;
   } else {
-    if (!same_stream || gen > gen_) return BatchOutcome::kUnsynced;
+    if (!same_stream || gen > gen_) {
+      // Nothing short of a reset batch can bind (or re-bind) the stream.
+      needs_reset_ = true;
+      return BatchOutcome::kUnsynced;
+    }
     if (gen < gen_ || first_ts < next_ts_) return BatchOutcome::kStale;
-    if (first_ts > next_ts_) return BatchOutcome::kUnsynced;
+    if (first_ts > next_ts_) {
+      // A pure hole: an in-sequence continuation (the primary's rewound
+      // resend of (next_ts, ...]) heals it without resetting.
+      needs_reset_ = false;
+      return BatchOutcome::kUnsynced;
+    }
   }
 
   // Decode against a trial copy: a batch either commits whole or leaves the

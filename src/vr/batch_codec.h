@@ -19,11 +19,19 @@
 // its first timestamp. The encoder bumps the generation and starts from an
 // empty dictionary (a "reset batch") whenever the batch does not continue
 // exactly where the previous one ended — which is precisely what happens on
-// view start, go-back-N retransmission, and gap-request resends, so those
-// paths need no special cases. The decoder accepts a batch only if it is a
+// view start and sends this encoder never saw, so those paths need no
+// special cases. The decoder accepts a batch only if it is a
 // newer-generation reset or the exact next in-sequence batch; everything
 // else is a stale duplicate (dropped) or a sync loss (reported so the cohort
-// can nack, which makes the primary resend — and resends auto-reset).
+// can nack, which makes the primary resend).
+//
+// Retransmissions (go-back-N, gap resends) are NOT resets: they rewind to
+// the backup's cumulative ack, and the decoder's state at that point is a
+// deterministic replay of the records up to the ack. The encoder keeps a
+// checkpoint of its stream state at acked + 1 (advanced by replaying each
+// newly-acked record's dictionary mutations) and re-encodes a resent range
+// from the checkpoint as an in-sequence continuation of the same generation,
+// preserving hot-key dictionary hits through lossy periods (DESIGN.md §8.3).
 #pragma once
 
 #include <cstdint>
@@ -49,7 +57,8 @@ inline constexpr std::size_t kDefaultDictCapacity = 64;
 struct CodecStats {
   std::uint64_t batches = 0;
   std::uint64_t records = 0;
-  std::uint64_t resets = 0;  // reset batches emitted (gen bumps)
+  std::uint64_t resets = 0;   // reset batches emitted (gen bumps)
+  std::uint64_t rewinds = 0;  // resends re-encoded from the ack checkpoint
   std::uint64_t dict_hits = 0;
   std::uint64_t dict_inserts = 0;
   std::uint64_t tentative_deltas = 0;    // versions shipped as deltas
@@ -63,14 +72,33 @@ class BatchEncoder {
 
   // Appends the compressed body for `events` (a non-empty run of records
   // with consecutive timestamps, as CommBuffer batches always are) to `w`.
-  // Auto-resets when events.front().ts is not the expected continuation.
+  // When events.front().ts is not the expected continuation, first tries to
+  // rewind to the ack checkpoint (same-generation resend); otherwise resets.
   void EncodeBody(wire::Writer& w, const std::vector<EventRecord>& events);
+
+  // Advances the rewind checkpoint to acked_ts + 1 by replaying the
+  // dictionary/context mutations of the newly-acked records. `records` is
+  // the resident record vector holding timestamps (base_ts, base_ts + size];
+  // if the range [checkpoint_ts, acked_ts] is no longer fully resident the
+  // checkpoint is invalidated (later resends fall back to a reset).
+  void AdvanceCheckpoint(std::uint64_t acked_ts,
+                         const std::vector<EventRecord>& records,
+                         std::uint64_t base_ts);
+
+  // First timestamp a rewind can target, or 0 if no valid checkpoint.
+  std::uint64_t checkpoint_ts() const { return ckpt_valid_ ? ckpt_ts_ : 0; }
+
+  // Forces the next batch to open a fresh generation (reset batch). Used
+  // when the receiver reports its decoder cannot continue this stream —
+  // e.g. it is freshly (re)started or just installed a snapshot.
+  void ForceReset();
 
   const CodecStats& stats() const { return stats_; }
 
  private:
   void EncodeRecord(wire::Writer& w, const EventRecord& e);
   void EncodeEffect(wire::Writer& w, const ObjectEffect& fx);
+  void ReplayMutations(const EventRecord& e);
 
   std::uint64_t gen_ = 0;      // current generation; 0 = nothing sent yet
   std::uint64_t next_ts_ = 0;  // expected first ts of the next batch
@@ -78,6 +106,17 @@ class BatchEncoder {
   Aid last_aid_;
   std::uint64_t prev_call_seq_ = 0;
   wire::KeyDict dict_;
+
+  // Stream state as of `ckpt_ts_` (i.e. just before encoding that record),
+  // always within the live generation; mirrors the decoder's state once it
+  // has applied everything below ckpt_ts_.
+  bool ckpt_valid_ = false;
+  std::uint64_t ckpt_ts_ = 0;
+  bool ckpt_have_last_aid_ = false;
+  Aid ckpt_last_aid_;
+  std::uint64_t ckpt_prev_call_seq_ = 0;
+  wire::KeyDict ckpt_dict_;
+
   CodecStats stats_;
 };
 
@@ -103,6 +142,13 @@ class BatchDecoder {
                           std::vector<EventRecord>& out,
                           std::uint64_t& last_ts);
 
+  // After a kUnsynced outcome: true when only a reset batch can resync this
+  // stream (decoder unbound, poisoned, or behind a newer generation); false
+  // when the batch merely arrived ahead of a hole that an in-sequence
+  // continuation (rewound resend) will fill. The caller forwards this in its
+  // nack so the encoder knows whether to ForceReset().
+  bool needs_reset() const { return needs_reset_; }
+
   void Reset();
 
  private:
@@ -110,6 +156,7 @@ class BatchDecoder {
   ObjectEffect DecodeEffect(wire::Reader& r);
 
   bool bound_ = false;
+  bool needs_reset_ = false;
   ViewId viewid_;
   Mid from_ = 0;
   std::uint64_t gen_ = 0;

@@ -8,11 +8,13 @@ namespace vsr::vr {
 
 CommBuffer::CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
                        std::function<void(Mid, const BufferBatchMsg&)> send,
-                       std::function<void()> on_force_failed)
+                       std::function<void()> on_force_failed,
+                       std::function<void(Mid)> on_needs_snapshot)
     : sim_(simulation),
       options_(options),
       send_(std::move(send)),
-      on_force_failed_(std::move(on_force_failed)) {}
+      on_force_failed_(std::move(on_force_failed)),
+      on_needs_snapshot_(std::move(on_needs_snapshot)) {}
 
 void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
                            std::size_t config_size, GroupId group, Mid self,
@@ -136,14 +138,33 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   const bool progress = ack.ts > st.acked;
   if (progress) {
     st.acked = ack.ts;
-    // An ack can overtake the cursor (e.g. state rebuilt mid-view); never
-    // let the cursor lag behind what is known received.
+    // An ack can overtake the cursor (e.g. the backup installed a snapshot
+    // and rejoined far ahead of what was ever sent); never let the cursor
+    // lag behind what is known received.
     if (st.sent < st.acked) st.sent = st.acked;
     if (st.acked >= st.gap_resent_hi) st.gap_resent_hi = 0;
+    // Keep the encoder's rewind checkpoint in step with the ack so a
+    // retransmission can continue the compression stream (§8.3) — must
+    // happen before CollectGarbage releases the newly-acked records.
+    st.encoder.AdvanceCheckpoint(st.acked, records_, base_ts_);
   }
+  if (st.state_transfer && st.acked >= base_ts_) {
+    // The snapshot is installed: the backup's ack re-entered the resident
+    // range and it resumes the normal record stream. Its decoder state is
+    // fresh, so the next send must open a new generation.
+    st.state_transfer = false;
+    st.encoder.ForceReset();
+    st.deadline = 0;
+    SendTo(ack.from);
+  } else if (st.state_transfer && progress && on_needs_snapshot_) {
+    // Installed, but GC outran the snapshot while it was in flight: the ack
+    // moved yet still sits below the resident range. Serve a fresher one.
+    on_needs_snapshot_(ack.from);
+  }
+  if (ack.codec_reset) st.encoder.ForceReset();
   // Only progress resets the stall deadline: a duplicate ack must not
   // postpone a legitimate retransmission forever.
-  if (st.acked >= st.sent) {
+  if (st.state_transfer || st.acked >= st.sent) {
     st.deadline = 0;
   } else if (progress) {
     st.deadline = sim_.Now() + options_.retransmit_interval;
@@ -152,13 +173,21 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   // Explicit gap request: the backup saw records beyond ack.ts + 1 and asks
   // precisely for the hole (ack.ts, gap_hi]. Resend it immediately — without
   // touching the cursor — instead of letting the deadline expire.
-  if (ack.gap) {
+  if (ack.gap && !RouteThroughSnapshot(ack.from, st)) {
+    // A repeated nack arriving after the previous gap resend's own deadline
+    // means that resend was itself lost: lift the suppression so the hole
+    // heals now instead of waiting out the full go-back-N deadline.
+    if (st.gap_resent_hi != 0 && st.gap_deadline != 0 &&
+        sim_.Now() >= st.gap_deadline) {
+      st.gap_resent_hi = 0;
+    }
     const std::uint64_t lo = st.acked;
     const std::uint64_t hi = std::min(st.sent, ack.gap_hi);
     if (hi > lo && hi > st.gap_resent_hi) {
       ++stats_.gap_requests;
       stats_.records_retransmitted += hi - lo;
       st.gap_resent_hi = hi;
+      st.gap_deadline = sim_.Now() + options_.retransmit_interval / 2;
       st.deadline = sim_.Now() + options_.retransmit_interval;
       SendRange(ack.from, lo, hi);
     }
@@ -173,11 +202,24 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   ResolveForces();
 }
 
+// Releases records every backup has acked — and, with snapshot catch-up
+// enabled, records more than `window` below the sub-majority stable
+// watermark even if a laggard has not: the laggard is then served a snapshot
+// (RouteThroughSnapshot) instead of a record replay, so one dead backup
+// bounds resident memory at O(window) rather than O(its lag). Safety is
+// untouched: records_ is volatile replication plumbing; durable knowledge
+// lives in the cohorts' gstates and the view-change newview record.
 void CommBuffer::CollectGarbage() {
   if (state_.empty()) return;
   std::uint64_t watermark = last_ts();
   for (const auto& [mid, st] : state_) {
     watermark = std::min(watermark, st.acked);
+  }
+  if (options_.snapshot_catchup) {
+    const std::uint64_t stable = StableTs();
+    const std::uint64_t stable_floor =
+        stable > options_.window ? stable - options_.window : 0;
+    watermark = std::max(watermark, stable_floor);
   }
   if (watermark <= base_ts_) return;
   const std::size_t n = static_cast<std::size_t>(watermark - base_ts_);
@@ -252,12 +294,30 @@ void CommBuffer::FlushNow() {
   ArmRetransmitTimer();
 }
 
+// True when `backup` cannot be served from the resident records (its ack is
+// below base_ts_, so its next needed record was GC'd): flips it into
+// state-transfer mode and asks the owner to serve a snapshot. One callback
+// per episode; chunk-level retransmission is the snapshot server's job.
+bool CommBuffer::RouteThroughSnapshot(Mid backup, BackupState& st) {
+  if (!options_.snapshot_catchup) return false;
+  if (st.state_transfer) return true;
+  if (st.acked >= base_ts_) return false;
+  st.state_transfer = true;
+  st.deadline = 0;
+  st.gap_resent_hi = 0;
+  st.gap_deadline = 0;
+  ++stats_.snapshots_served;
+  if (on_needs_snapshot_) on_needs_snapshot_(backup);
+  return true;
+}
+
 // Advances `backup`'s send cursor: transmits every record past the cursor,
 // in max_batch chunks, up to the in-flight window. Never re-sends.
 void CommBuffer::SendTo(Mid backup) {
   auto it = state_.find(backup);
   if (it == state_.end()) return;
   BackupState& st = it->second;
+  if (RouteThroughSnapshot(backup, st)) return;
   const std::uint64_t last = last_ts();
   while (st.sent < last) {
     const std::uint64_t limit = st.acked + options_.window;
@@ -278,7 +338,8 @@ void CommBuffer::SendTo(Mid backup) {
 
 // Transmits the records in (lo, hi], in max_batch chunks. lo is always at or
 // above the GC watermark: a cursor never points below its backup's own ack,
-// and the watermark is the minimum ack.
+// and a backup whose ack fell below the watermark is in state-transfer mode
+// (RouteThroughSnapshot) and never reaches here.
 void CommBuffer::SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi) {
   assert(lo >= base_ts_ && hi <= last_ts());
   auto st = state_.find(backup);
@@ -325,6 +386,7 @@ void CommBuffer::CheckRetransmits() {
   if (!active_) return;
   const sim::Time now = sim_.Now();
   for (auto& [backup, st] : state_) {
+    if (st.state_transfer) continue;  // no record deadlines during transfer
     if (st.deadline == 0 || st.deadline > now) continue;
     if (st.sent <= st.acked) {
       st.deadline = 0;
@@ -336,6 +398,7 @@ void CommBuffer::CheckRetransmits() {
     stats_.records_retransmitted += st.sent - st.acked;
     st.sent = st.acked;
     st.gap_resent_hi = 0;
+    st.gap_deadline = 0;
     st.deadline = 0;
     SendTo(backup);
   }

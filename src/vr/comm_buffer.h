@@ -25,8 +25,12 @@
 //  * a backup that observes a hole (records arrived beyond applied+1) sends
 //    an explicit gap request in its ack; the primary re-sends exactly the
 //    missing range immediately instead of waiting out the deadline;
-//  * records below the all-backups-acked watermark are garbage collected,
-//    so long-lived views hold only the unacknowledged suffix in memory.
+//  * records are garbage collected below the all-backups-acked watermark,
+//    raised to StableTs() - window once the stable watermark runs more than
+//    a window ahead of a laggard: a dead or partitioned backup then no
+//    longer pins memory — it is routed through snapshot state transfer
+//    (DESIGN.md §9) instead of record replay, keeping the resident suffix
+//    O(window) instead of O(slowest backup lag).
 #pragma once
 
 #include <cstdint>
@@ -63,15 +67,24 @@ struct CommBufferOptions {
   CompressionMode compression = CompressionMode::kRaw;
   // Hot-key dictionary slots per backup connection (kDict only).
   std::size_t dict_capacity = kDefaultDictCapacity;
+  // Snapshot-based catch-up (DESIGN.md §9): GC may release records past a
+  // laggard's ack (bounding memory by `window` past StableTs()) and the
+  // laggard is served a snapshot. Off = the pre-snapshot behavior — GC waits
+  // for every backup and catch-up replays the full record suffix (ablation
+  // A7, bench E11).
+  bool snapshot_catchup = true;
 };
 
 class CommBuffer {
  public:
   // send(to, batch) transmits a batch to one backup. on_force_failed() fires
-  // when a force is abandoned.
+  // when a force is abandoned. on_needs_snapshot(backup) fires when a backup
+  // falls behind the GC watermark and must catch up via state transfer; the
+  // owner is expected to serve it a snapshot (DESIGN.md §9).
   CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
              std::function<void(Mid, const BufferBatchMsg&)> send,
-             std::function<void()> on_force_failed);
+             std::function<void()> on_force_failed,
+             std::function<void(Mid)> on_needs_snapshot = nullptr);
   ~CommBuffer() { Stop(); }
   CommBuffer(const CommBuffer&) = delete;
   CommBuffer& operator=(const CommBuffer&) = delete;
@@ -143,8 +156,12 @@ class CommBuffer {
     std::uint64_t gap_requests = 0;
     // Flush attempts blocked because a backup's in-flight window was full.
     std::uint64_t window_stalls = 0;
-    // Records released below the all-backups-acked watermark.
+    // Records released below the GC watermark (see CollectGarbage).
     std::uint64_t records_gced = 0;
+    // Laggards routed through snapshot state transfer: transitions of a
+    // backup into state-transfer mode because its next needed record was
+    // already garbage-collected.
+    std::uint64_t snapshots_served = 0;
     // Max resident record count (memory high-water mark of this view).
     std::uint64_t buffer_high_water = 0;
     // Acks discarded: wrong group, unknown sender, or ts beyond last_ts().
@@ -172,12 +189,20 @@ class CommBuffer {
     std::uint64_t acked = 0;  // highest cumulative ack received
     std::uint64_t sent = 0;   // highest ts transmitted (the send cursor)
     // Upper end of the last gap-request resend; suppresses duplicate
-    // resends for the same hole until the ack advances past it.
+    // resends for the same hole until the ack advances past it — or until
+    // gap_deadline passes, in case the resend itself was lost.
     std::uint64_t gap_resent_hi = 0;
+    sim::Time gap_deadline = 0;
     // Ack deadline while records are in flight (0 = nothing outstanding).
     sim::Time deadline = 0;
+    // The backup's next needed record was garbage-collected: it is being
+    // caught up via snapshot state transfer (on_needs_snapshot) and gets no
+    // record sends, gap fills, or retransmissions until its ack re-enters
+    // the resident range.
+    bool state_transfer = false;
     // Stateful wire compressor for this connection (kDict mode). Fresh per
-    // view; self-resets on any send discontinuity (go-back-N, gap resend).
+    // view; rewinds to the ack checkpoint on retransmission, resets when
+    // the backup reports its decoder cannot continue the stream.
     BatchEncoder encoder;
   };
 
@@ -185,6 +210,9 @@ class CommBuffer {
   void FlushNow();
   void SendTo(Mid backup);
   void SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi);
+  // True if `backup` must catch up via state transfer (its next needed
+  // record is below base_ts_); fires on_needs_snapshot on the transition.
+  bool RouteThroughSnapshot(Mid backup, BackupState& st);
   void ResolveForces();
   void CheckForceTimeouts();
   void CheckRetransmits();
@@ -195,6 +223,7 @@ class CommBuffer {
   CommBufferOptions options_;
   std::function<void(Mid, const BufferBatchMsg&)> send_;
   std::function<void()> on_force_failed_;
+  std::function<void(Mid)> on_needs_snapshot_;
 
   bool active_ = false;
   ViewId viewid_;

@@ -16,6 +16,10 @@ const char* MsgTypeName(MsgType t) {
       return "buffer-batch";
     case MsgType::kBufferAck:
       return "buffer-ack";
+    case MsgType::kSnapshotChunk:
+      return "snapshot-chunk";
+    case MsgType::kSnapshotAck:
+      return "snapshot-ack";
     case MsgType::kCall:
       return "call";
     case MsgType::kReply:
@@ -93,6 +97,7 @@ BufferBatchMsg BufferBatchMsg::Decode(wire::Reader& r, BatchDecoder* dec) {
       break;
     case BatchOutcome::kUnsynced:
       m.unsynced = true;
+      m.reset_needed = dec->needs_reset();
       break;
     case BatchOutcome::kBad:
       break;  // reader already marked bad

@@ -41,6 +41,8 @@ enum class MsgType : std::uint16_t {
   kInitView = 4,
   kBufferBatch = 5,
   kBufferAck = 6,
+  kSnapshotChunk = 7,
+  kSnapshotAck = 8,
 
   kCall = 10,
   kReply = 11,
@@ -190,9 +192,12 @@ struct BufferBatchMsg {
 
   // Decode-side outcome for mode == kDict (see BatchOutcome). `events` is
   // empty in both non-Ok cases; `last_ts` names the batch's highest
-  // timestamp so an unsynced receiver knows what range to nack.
+  // timestamp so an unsynced receiver knows what range to nack, and
+  // `reset_needed` whether only a reset batch can resync the stream (the
+  // receiver forwards it as BufferAckMsg::codec_reset).
   bool stale = false;
   bool unsynced = false;
+  bool reset_needed = false;
   std::uint64_t last_ts = 0;
 
   void Encode(wire::Writer& w) const;
@@ -214,6 +219,10 @@ struct BufferAckMsg {
   // primary's retransmission deadline.
   bool gap = false;
   std::uint64_t gap_hi = 0;
+  // The backup's decoder cannot resync from a continuation (it is freshly
+  // started, poisoned, or just installed a snapshot): the primary must open
+  // a fresh generation (reset batch) on its next send.
+  bool codec_reset = false;
 
   void Encode(wire::Writer& w) const {
     w.U64(group);
@@ -222,6 +231,7 @@ struct BufferAckMsg {
     w.U64(ts);
     w.Bool(gap);
     w.U64(gap_hi);
+    w.Bool(codec_reset);
   }
   static BufferAckMsg Decode(wire::Reader& r) {
     BufferAckMsg m;
@@ -231,7 +241,87 @@ struct BufferAckMsg {
     m.ts = r.U64();
     m.gap = r.Bool();
     m.gap_hi = r.U64();
+    m.codec_reset = r.Bool();
     if (m.gap && m.gap_hi <= m.ts) r.MarkBad();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot state transfer (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+// One chunk of a serialized gstate snapshot, streamed primary → laggard
+// backup. The snapshot is identified by `vs` (the viewstamp of the last
+// event it covers); every chunk repeats the payload's total size and CRC so
+// a transfer can be adopted from any chunk and verified on completion.
+struct SnapshotChunkMsg {
+  static constexpr MsgType kType = MsgType::kSnapshotChunk;
+  GroupId group = 0;
+  ViewId viewid;
+  Mid from = 0;
+  Viewstamp vs;                  // snapshot identity: covers events <= vs.ts
+  std::uint64_t total_size = 0;  // payload bytes overall
+  std::uint32_t checksum = 0;    // CRC-32 of the whole payload
+  std::uint64_t offset = 0;      // position of `data` within the payload
+  std::vector<std::uint8_t> data;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U32(from);
+    vs.Encode(w);
+    w.U64(total_size);
+    w.U32(checksum);
+    w.U64(offset);
+    w.Bytes(std::span<const std::uint8_t>(data));
+  }
+  static SnapshotChunkMsg Decode(wire::Reader& r) {
+    SnapshotChunkMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.vs = Viewstamp::Decode(r);
+    m.total_size = r.U64();
+    m.checksum = r.U32();
+    m.offset = r.U64();
+    m.data = r.Bytes();
+    // Every chunk carries at least one byte strictly inside the payload; an
+    // empty snapshot does not exist (gstate is never zero bytes).
+    if (m.total_size == 0 || m.offset >= m.total_size || m.data.empty() ||
+        m.data.size() > m.total_size - m.offset) {
+      r.MarkBad();
+    }
+    return m;
+  }
+};
+
+// Backup → primary: cumulative contiguous byte count received for the
+// snapshot identified by `vs`. offset == total_size acknowledges the whole
+// (verified) payload; an offset below what the primary already saw acked
+// signals the sink restarted and the transfer rewinds.
+struct SnapshotAckMsg {
+  static constexpr MsgType kType = MsgType::kSnapshotAck;
+  GroupId group = 0;
+  ViewId viewid;
+  Mid from = 0;
+  Viewstamp vs;
+  std::uint64_t offset = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U32(from);
+    vs.Encode(w);
+    w.U64(offset);
+  }
+  static SnapshotAckMsg Decode(wire::Reader& r) {
+    SnapshotAckMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.vs = Viewstamp::Decode(r);
+    m.offset = r.U64();
     return m;
   }
 };

@@ -4,6 +4,9 @@
 // group); this exercises cross-group 2PC under chaos.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "check/invariants.h"
 #include "check/serial.h"
 #include "tests/test_util.h"
@@ -200,6 +203,88 @@ INSTANTIATE_TEST_SUITE_P(
                       SoakParams{104, 2000, 0.06, true},
                       SoakParams{105, 2000, 0.08, false},
                       SoakParams{106, 2500, 0.05, true}));
+
+// DESIGN.md §9 GC-bound soak: one backup crashes permanently while the
+// surviving pair keeps committing. Without the StableTs() - window GC floor
+// the dead backup's stale ack would pin every record since the crash
+// (memory O(lag)); with it the primary's resident record vector must stay
+// O(window) for the whole run. CHECK_SOAK=1 (scripts/check.sh) multiplies
+// the rounds ~10x; the default stays short enough for tier-1 ctest.
+TEST(DeadBackupSoak, ResidentRecordsStayWithinWindow) {
+  const char* soak_env = std::getenv("CHECK_SOAK");
+  const bool long_run = soak_env != nullptr && soak_env[0] == '1';
+  const int rounds = long_run ? 400 : 40;
+
+  core::CohortOptions copts;
+  // Losing a backup must not trigger an election mid-measurement.
+  copts.liveness_timeout = 60 * sim::kSecond;
+  // Small window so even the short run commits many windows' worth of work.
+  copts.buffer.window = 8;
+  copts.snapshot.chunk_size = 256;
+  copts.snapshot.window = 4;
+
+  Cluster cluster(ClusterOptions{.seed = 107});
+  auto kv = cluster.AddGroup("kv", 3, &copts);
+  auto client_g = cluster.AddGroup("client", 1);
+  test::RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  auto cohorts = cluster.Cohorts(kv);
+  std::size_t pi = cohorts.size();
+  for (std::size_t i = 0; i < cohorts.size(); ++i) {
+    if (cohorts[i]->IsActivePrimary()) pi = i;
+  }
+  ASSERT_LT(pi, cohorts.size());
+  core::Cohort& primary = *cohorts[pi];
+  core::Cohort& dead = *cohorts[(pi + 1) % cohorts.size()];
+  dead.Crash();
+
+  // window of unacked records + one flush batch still being assembled.
+  const std::size_t bound = copts.buffer.window + copts.buffer.max_batch;
+  std::size_t max_resident = 0;
+  for (int i = 0; i < rounds; ++i) {
+    ASSERT_EQ(test::RunOneCallWithRetry(
+                  cluster, client_g, kv, "put",
+                  "k" + std::to_string(i) + "=v" + std::to_string(i)),
+              vr::TxnOutcome::kCommitted)
+        << "round " << i;
+    max_resident = std::max(max_resident, primary.buffer().records().size());
+    if (i % 10 == 9) {
+      cluster.RunFor(50 * sim::kMillisecond);
+      for (const std::string& v : check::CheckInstant(cluster, kv)) {
+        ADD_FAILURE() << "round " << i << ": " << v;
+      }
+    }
+  }
+  EXPECT_LE(max_resident, bound)
+      << "dead backup pinned the communication buffer";
+  EXPECT_GT(primary.buffer().stats().records_gced, 0u);
+  EXPECT_EQ(test::CommittedValue(cluster, kv,
+                                 "k" + std::to_string(rounds - 1)),
+            "v" + std::to_string(rounds - 1));
+
+  // The crashed cohort rejoins and converges on the full history even
+  // though the records it missed were long since garbage-collected.
+  dead.Recover();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(2 * sim::kSecond);
+  // The recovered cohort must hold history it never received through the
+  // record stream — those records were garbage-collected long ago.
+  for (int i : {0, rounds / 2, rounds - 1}) {
+    EXPECT_EQ(
+        dead.objects().ReadCommitted("k" + std::to_string(i)).value_or(""),
+        "v" + std::to_string(i))
+        << "k" << i;
+  }
+  EXPECT_EQ(test::RunOneCallWithRetry(cluster, client_g, kv, "put",
+                                      "post=recovery"),
+            vr::TxnOutcome::kCommitted);
+  cluster.RunFor(500 * sim::kMillisecond);
+  for (const std::string& v : check::CheckQuiescent(cluster, kv)) {
+    ADD_FAILURE() << v;
+  }
+}
 
 }  // namespace
 }  // namespace vsr

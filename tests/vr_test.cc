@@ -419,6 +419,113 @@ TEST_F(CommBufferTest, GarbageCollectsBelowAllAckedWatermark) {
   EXPECT_EQ(buffer_.Add(Rec()).ts, 5u);
 }
 
+TEST_F(CommBufferTest, DeadBackupNoLongerPinsGarbageCollection) {
+  // Regression (DESIGN.md §9): before snapshot catch-up, one dead backup
+  // pinned the min-ack GC watermark at its last ack and records_ grew with
+  // its lag. Now GC releases records more than `window` below the stable
+  // watermark and the laggard is routed through state transfer.
+  CommBufferOptions o;
+  o.window = 4;
+  std::vector<Mid> snapshot_requests;
+  History h;
+  ViewId vid{2, 1};
+  h.OpenView(vid);
+  CommBuffer b(
+      sim_, o, [](Mid, const BufferBatchMsg&) {}, [] {},
+      [&](Mid m) { snapshot_requests.push_back(m); });
+  b.StartView(vid, {2, 3}, 3, /*group=*/1, /*self=*/1, &h);
+  auto ack = [&](Mid from, std::uint64_t ts) {
+    BufferAckMsg a;
+    a.group = 1;
+    a.viewid = vid;
+    a.from = from;
+    a.ts = ts;
+    b.OnAck(a);
+  };
+  for (int i = 0; i < 20; ++i) b.Add(EventRecord::Done(Aid{1, vid, 1}));
+  sim_.scheduler().RunUntil(sim_.Now() + o.flush_delay + 1);
+  ack(2, 20);  // backup 2 healthy; backup 3 dead (never acks)
+  // StableTs (sub-majority of 3 = 1 backup) is 20: the floor releases all
+  // but the last `window` records even though backup 3 acked nothing.
+  EXPECT_EQ(b.base_ts(), 16u);
+  EXPECT_LE(b.records().size(), o.window);
+  // The dead backup's go-back-N deadline routes it into state transfer: one
+  // snapshot request per episode, and no more record retransmissions.
+  sim_.scheduler().RunUntil(sim_.Now() + o.retransmit_interval * 3);
+  ASSERT_EQ(snapshot_requests.size(), 1u);
+  EXPECT_EQ(snapshot_requests[0], 3u);
+  EXPECT_EQ(b.stats().snapshots_served, 1u);
+  // Memory stays O(window) as the stream keeps flowing.
+  for (int i = 0; i < 20; ++i) b.Add(EventRecord::Done(Aid{1, vid, 1}));
+  ack(2, 40);
+  EXPECT_EQ(b.base_ts(), 36u);
+  EXPECT_LE(b.records().size(), o.window);
+  // The backup installs the snapshot (ack at the snapshot ts, inside the
+  // resident range): state transfer ends and min-ack GC resumes.
+  ack(3, 40);
+  EXPECT_EQ(b.base_ts(), 40u);
+  EXPECT_TRUE(b.records().empty());
+  b.Stop();
+}
+
+TEST_F(CommBufferTest, SnapshotCatchupOffKeepsMinAckGc) {
+  // Ablation A7: with snapshot_catchup disabled the seed behavior is intact —
+  // GC never passes the slowest backup's ack.
+  CommBufferOptions o;
+  o.window = 4;
+  o.snapshot_catchup = false;
+  History h;
+  ViewId vid{2, 1};
+  h.OpenView(vid);
+  CommBuffer b(
+      sim_, o, [](Mid, const BufferBatchMsg&) {}, [] {});
+  b.StartView(vid, {2, 3}, 3, /*group=*/1, /*self=*/1, &h);
+  for (int i = 0; i < 20; ++i) b.Add(EventRecord::Done(Aid{1, vid, 1}));
+  BufferAckMsg a;
+  a.group = 1;
+  a.viewid = vid;
+  a.from = 2;
+  a.ts = 20;
+  b.OnAck(a);
+  EXPECT_EQ(b.base_ts(), 0u);  // pinned by backup 3
+  EXPECT_EQ(b.records().size(), 20u);
+  EXPECT_EQ(b.stats().snapshots_served, 0u);
+  b.Stop();
+}
+
+TEST_F(CommBufferTest, LostGapResendIsReRequestedAfterDeadline) {
+  // Regression (bugfix sweep): gap_resent_hi used to suppress every repeated
+  // nack for the same hole forever, so a LOST gap resend left the backup
+  // waiting out the full go-back-N deadline. A repeated nack arriving after
+  // the gap deadline (half a retransmit interval) is honored again.
+  for (int i = 0; i < 5; ++i) buffer_.Add(Rec());
+  sim_.scheduler().RunUntil(options_.flush_delay + 1);
+  sent_.clear();
+  BufferAckMsg a;
+  a.group = 1;
+  a.viewid = viewid_;
+  a.from = 2;
+  a.ts = 2;
+  a.gap = true;
+  a.gap_hi = 3;
+  buffer_.OnAck(a);
+  EXPECT_EQ(buffer_.stats().gap_requests, 1u);
+  ASSERT_EQ(sent_.size(), 1u);
+  // The resend is lost in flight; an immediate duplicate nack stays
+  // suppressed (it raced the resend)...
+  buffer_.OnAck(a);
+  EXPECT_EQ(buffer_.stats().gap_requests, 1u);
+  EXPECT_EQ(sent_.size(), 1u);
+  // ...but once the gap deadline passes, the repeated nack means the resend
+  // itself was lost: honor it now, well before the go-back-N deadline.
+  sim_.scheduler().RunUntil(sim_.Now() + options_.retransmit_interval / 2 + 1);
+  buffer_.OnAck(a);
+  EXPECT_EQ(buffer_.stats().gap_requests, 2u);
+  ASSERT_EQ(sent_.size(), 2u);
+  EXPECT_EQ(sent_[1].second.events.front().ts, 3u);
+  EXPECT_EQ(buffer_.stats().retransmit_timeouts, 0u);
+}
+
 TEST_F(CommBufferTest, WindowLimitsInFlightRecords) {
   CommBufferOptions small = options_;
   small.window = 2;
@@ -523,17 +630,22 @@ class CompressedCommBufferTest : public ::testing::Test {
       ++bk.decode_failures;
       return;
     }
-    if (m.stale) return;
     BufferAckMsg a;
     a.group = 1;
     a.viewid = viewid_;
     a.from = to;
-    if (m.unsynced) {
+    if (m.stale) {
+      // Duplicate range: our ack was lost. Restate the cumulative watermark
+      // (as Cohort::OnBufferBatch does) so the primary's cursor — and its
+      // rewind checkpoint — move past the replayed range.
+      a.ts = bk.applied_ts;
+    } else if (m.unsynced) {
       if (m.last_ts <= bk.applied_ts) return;
       ++bk.gap_nacks;
       a.ts = bk.applied_ts;
       a.gap = true;
       a.gap_hi = m.last_ts;
+      a.codec_reset = m.reset_needed;
     } else {
       for (const EventRecord& e : m.events) {
         if (e.ts == bk.applied_ts + 1) {
@@ -628,9 +740,10 @@ TEST_F(CompressedCommBufferTest, WholeBatchLossHealsViaGoBackNReset) {
     }
   }
   EXPECT_GE(buffer_.stats().retransmit_timeouts, 1u);
-  // The go-back-N resend was a discontinuity for backup 2's encoder, so it
-  // re-opened the stream with a fresh generation; backup 3 never reset
-  // beyond the view-start generation.
+  // The go-back-N resend rewound to the encoder's checkpoint (acked+1 = 1),
+  // but backup 2 had never bound to the stream, so it answered with a
+  // codec-reset nack and the second resend opened a fresh generation.
+  EXPECT_GE(buffer_.encoder_stats(2)->rewinds, 1u);
   EXPECT_GE(buffer_.encoder_stats(2)->resets, 2u);
   EXPECT_EQ(buffer_.encoder_stats(3)->resets, 1u);
 }
@@ -660,9 +773,12 @@ TEST_F(CompressedCommBufferTest, MidStreamLossHealsViaGapRequest) {
       EXPECT_EQ(bk.applied[i], added[i]);
     }
   }
-  // The gap resend re-synced backup 2's stream in one round trip, with a
-  // reset batch; the healthy backup's stream never reset.
-  EXPECT_GE(buffer_.encoder_stats(2)->resets, 2u);
+  // The gap resend re-synced backup 2's stream in one round trip — by
+  // REWINDING the encoder to its checkpoint at the acked watermark, not by
+  // resetting: the dictionary built over ts 1..3 survived (§8.3). Neither
+  // stream ever reset beyond the view-start generation.
+  EXPECT_GE(buffer_.encoder_stats(2)->rewinds, 1u);
+  EXPECT_EQ(buffer_.encoder_stats(2)->resets, 1u);
   EXPECT_EQ(buffer_.encoder_stats(3)->resets, 1u);
   // Go-back-N never had to fire: the nack healed it first.
   EXPECT_EQ(buffer_.stats().retransmit_timeouts, 0u);

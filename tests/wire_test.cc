@@ -283,6 +283,106 @@ TEST(Messages, BufferAckRejectsEmptyGapRange) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(Messages, BufferAckCodecResetRoundTrip) {
+  vr::BufferAckMsg a;
+  a.group = 6;
+  a.viewid = {3, 1};
+  a.from = 2;
+  a.ts = 7;
+  a.gap = true;
+  a.gap_hi = 12;
+  a.codec_reset = true;
+  auto out = RoundTrip(a);
+  EXPECT_TRUE(out.codec_reset);
+  a.codec_reset = false;
+  EXPECT_FALSE(RoundTrip(a).codec_reset);
+}
+
+TEST(Messages, SnapshotChunkAndAckRoundTrip) {
+  vr::SnapshotChunkMsg m;
+  m.group = 6;
+  m.viewid = {3, 1};
+  m.from = 1;
+  m.vs = {{3, 1}, 41};
+  m.total_size = 10;
+  m.checksum = 0xdeadbeef;
+  m.offset = 4;
+  m.data = {9, 8, 7};
+  auto out = RoundTrip(m);
+  EXPECT_EQ(out.group, m.group);
+  EXPECT_EQ(out.viewid, m.viewid);
+  EXPECT_EQ(out.vs, m.vs);
+  EXPECT_EQ(out.total_size, 10u);
+  EXPECT_EQ(out.checksum, 0xdeadbeefu);
+  EXPECT_EQ(out.offset, 4u);
+  EXPECT_EQ(out.data, m.data);
+
+  vr::SnapshotAckMsg a;
+  a.group = 6;
+  a.viewid = {3, 1};
+  a.from = 2;
+  a.vs = m.vs;
+  a.offset = 10;
+  auto aout = RoundTrip(a);
+  EXPECT_EQ(aout.vs, m.vs);
+  EXPECT_EQ(aout.offset, 10u);
+  EXPECT_EQ(aout.from, 2u);
+}
+
+TEST(Messages, SnapshotChunkRejectsInconsistentFraming) {
+  // A chunk whose own fields contradict each other (offset at/past the end,
+  // empty data, or data overrunning total_size) is corrupt on its face and
+  // must be flagged by the decoder before any sink logic sees it.
+  auto encode = [](std::uint64_t total, std::uint64_t offset,
+                   std::vector<std::uint8_t> data) {
+    vr::SnapshotChunkMsg m;
+    m.group = 6;
+    m.viewid = {3, 1};
+    m.from = 1;
+    m.vs = {{3, 1}, 41};
+    m.total_size = total;
+    m.checksum = 1;
+    m.offset = offset;
+    m.data = std::move(data);
+    Writer w;
+    m.Encode(w);
+    return w.Take();
+  };
+  auto rejects = [](const std::vector<std::uint8_t>& bytes) {
+    Reader r(bytes);
+    (void)vr::SnapshotChunkMsg::Decode(r);
+    return !r.ok();
+  };
+  EXPECT_TRUE(rejects(encode(0, 0, {1})));        // zero-byte payload
+  EXPECT_TRUE(rejects(encode(10, 10, {1})));      // offset == total
+  EXPECT_TRUE(rejects(encode(10, 11, {1})));      // offset past total
+  EXPECT_TRUE(rejects(encode(10, 0, {})));        // empty data
+  EXPECT_TRUE(rejects(encode(10, 8, {1, 2, 3}))); // data overruns total
+  EXPECT_FALSE(rejects(encode(10, 8, {1, 2})));   // exact tail is fine
+}
+
+TEST(Messages, SnapshotChunkEveryTruncationIsDetected) {
+  vr::SnapshotChunkMsg m;
+  m.group = 6;
+  m.viewid = {3, 1};
+  m.from = 1;
+  m.vs = {{3, 1}, 41};
+  m.total_size = 5;
+  m.checksum = 0xabad1dea;
+  m.offset = 0;
+  m.data = {1, 2, 3, 4, 5};
+  Writer w;
+  m.Encode(w);
+  auto bytes = w.Take();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    Reader r(prefix);
+    (void)vr::SnapshotChunkMsg::Decode(r);
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
 TEST(Messages, QueryAndOutcomeRoundTrip) {
   vr::QueryMsg q;
   q.aid = {1, {2, 3}, 4};
@@ -654,35 +754,53 @@ vr::EventRecord RandomRecord(sim::Rng& rng, std::uint64_t ts,
 }
 
 TEST(BatchCodec, RandomizedRoundTripAcrossDictionaryStates) {
+  std::uint64_t total_rewinds = 0;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     sim::Rng rng(seed);
     vr::BatchEncoder enc(/*dict_capacity=*/8);
     vr::BatchDecoder dec(/*dict_capacity=*/8);
     const vr::ViewId vid{2, 1};
     std::vector<std::string> values(12);  // 12 keys > 8 slots: evictions
-    std::uint64_t ts = 1;
+    std::vector<vr::EventRecord> log;     // log[ts - 1]: the record at ts
     for (int batch = 0; batch < 25; ++batch) {
-      if (rng.Bernoulli(0.15) && ts > 1) {
-        // Simulate a go-back-N / gap resend: re-encode from an earlier ts.
-        // The encoder must auto-reset and the decoder must accept the new
-        // generation even though it already consumed those timestamps.
-        ts -= rng.UniformInt(1, std::min<std::uint64_t>(ts - 1, 5));
-      }
       std::vector<vr::EventRecord> events;
-      const int n = static_cast<int>(rng.UniformInt(1, 10));
-      for (int i = 0; i < n; ++i) {
-        events.push_back(RandomRecord(rng, ts++, values));
-        events.back().ts = ts - 1;
+      const bool resend = rng.Bernoulli(0.15) && !log.empty();
+      if (resend) {
+        // Simulate a go-back-N / gap resend: re-encode a suffix of the
+        // records already sent — records are immutable, a resend carries
+        // the same bytes-worth of content. The encoder either rewinds to
+        // its ack checkpoint (same generation; the in-sync decoder then
+        // reports the duplicate as stale and drops it) or opens a fresh
+        // generation the decoder must accept.
+        const std::uint64_t from =
+            log.size() + 1 -
+            rng.UniformInt(1, std::min<std::uint64_t>(log.size(), 5));
+        events.assign(log.begin() + static_cast<std::ptrdiff_t>(from - 1),
+                      log.end());
+      } else {
+        const int n = static_cast<int>(rng.UniformInt(1, 10));
+        for (int i = 0; i < n; ++i) {
+          log.push_back(RandomRecord(rng, log.size() + 1, values));
+          log.back().ts = log.size();  // some RandomRecord paths skip ts
+          events.push_back(log.back());
+        }
       }
       Writer w;
       enc.EncodeBody(w, events);
       Reader r(w.data());
       std::vector<vr::EventRecord> out;
       std::uint64_t last_ts = 0;
-      ASSERT_EQ(dec.DecodeBody(r, vid, 1, out, last_ts),
-                vr::BatchOutcome::kOk)
+      const vr::BatchOutcome outcome = dec.DecodeBody(r, vid, 1, out, last_ts);
+      ASSERT_TRUE(r.ok()) << "seed " << seed << " batch " << batch;
+      if (outcome == vr::BatchOutcome::kStale) {
+        // Only a rewound resend of already-consumed records may be stale;
+        // the decoder ignored it and the stream stays in sync.
+        ASSERT_TRUE(resend) << "seed " << seed << " batch " << batch;
+        EXPECT_TRUE(out.empty());
+        continue;
+      }
+      ASSERT_EQ(outcome, vr::BatchOutcome::kOk)
           << "seed " << seed << " batch " << batch;
-      ASSERT_TRUE(r.ok());
       EXPECT_TRUE(r.AtEnd());
       EXPECT_EQ(last_ts, events.back().ts);
       ASSERT_EQ(out.size(), events.size());
@@ -690,11 +808,19 @@ TEST(BatchCodec, RandomizedRoundTripAcrossDictionaryStates) {
         EXPECT_EQ(out[i], events[i]) << "seed " << seed << " batch " << batch
                                      << " record " << i;
       }
+      if (rng.Bernoulli(0.5)) {
+        // Simulate a cumulative ack for a random prefix reaching the
+        // encoder, so later resends can target the checkpoint.
+        enc.AdvanceCheckpoint(rng.UniformInt(1, log.size()), log, 0);
+      }
     }
     // The workload's redundancy was actually exploited.
     EXPECT_GT(enc.stats().dict_hits, 0u) << "seed " << seed;
     EXPECT_GT(enc.stats().resets, 0u) << "seed " << seed;
+    total_rewinds += enc.stats().rewinds;
   }
+  // Across the seeds, some resends must have hit the checkpoint-rewind path.
+  EXPECT_GT(total_rewinds, 0u);
 }
 
 TEST(BatchCodec, CompressedMessageRoundTripThroughBufferBatchMsg) {
@@ -798,6 +924,96 @@ TEST(BatchCodec, GapResendResyncsViaResetBatch) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[1].effects[0].tentative, "v3");
   EXPECT_EQ(enc.stats().resets, 2u);  // initial + resend
+}
+
+TEST(BatchCodec, RewoundResendReproducesContinuationBytesGolden) {
+  // Cross-batch dictionary persistence (§8.3): after the backup acks ts 1
+  // the encoder's checkpoint sits at ts 2, so a retransmission starting
+  // there REWINDS instead of resetting — and must reproduce byte-for-byte
+  // the continuation batch the decoder would have accepted the first time.
+  vr::BatchEncoder enc;
+  const std::vector<vr::EventRecord> records = {
+      WriteRec(1, "acct", "balance=1000"), WriteRec(2, "acct",
+                                                    "balance=1001")};
+  Writer w1;
+  enc.EncodeBody(w1, {records[0]});
+  enc.AdvanceCheckpoint(/*acked_ts=*/1, records, /*base_ts=*/0);
+  Writer w2;
+  enc.EncodeBody(w2, {records[1]});
+  // Batch 2 is lost in flight; the resend re-encodes from the acked
+  // watermark. Before this PR that was a discontinuity → reset batch → the
+  // dictionary restarted cold. Now: identical bytes, dictionary intact.
+  Writer resend;
+  enc.EncodeBody(resend, {records[1]});
+  EXPECT_EQ(resend.data(), w2.data());
+  // Pinned against the §8.4 golden continuation layout (same bytes as
+  // GoldenBytesInSequenceDeltaBatch): still a gen-1 non-reset batch with a
+  // dictionary hit and a delta-encoded version.
+  const std::vector<std::uint8_t> expected = {
+      0x01, 0x00, 0x02, 0x01, 0x30, 0x00, 0x01,
+      0x1c, 0x00, 0x0b, 0x00, 0x01, '1',
+  };
+  EXPECT_EQ(resend.data(), expected);
+  EXPECT_EQ(enc.stats().rewinds, 1u);
+  EXPECT_EQ(enc.stats().resets, 1u);  // only the stream-opening reset
+
+  // A decoder that consumed batch 1 but never saw batch 2 accepts the
+  // rewound resend as the in-sequence continuation it is.
+  vr::BatchDecoder dec;
+  std::vector<vr::EventRecord> out;
+  std::uint64_t last_ts = 0;
+  Reader r1(w1.data());
+  ASSERT_EQ(dec.DecodeBody(r1, {3, 1}, 1, out, last_ts),
+            vr::BatchOutcome::kOk);
+  Reader rr(resend.data());
+  ASSERT_EQ(dec.DecodeBody(rr, {3, 1}, 1, out, last_ts),
+            vr::BatchOutcome::kOk);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], records[1]);
+  EXPECT_EQ(last_ts, 2u);
+}
+
+TEST(BatchCodec, CheckpointReplaySurvivesEvictionsAndElision) {
+  // AdvanceCheckpoint replays acked records through the checkpoint's shadow
+  // dictionary; with more hot keys than slots the replay must reproduce the
+  // exact eviction order, delta bases, and aid elision the live encoder went
+  // through, or the rewound bytes would diverge.
+  vr::BatchEncoder enc(/*dict_capacity=*/2);
+  std::vector<vr::EventRecord> records;
+  for (std::uint64_t ts = 1; ts <= 8; ++ts) {
+    records.push_back(WriteRec(ts, "key-" + std::to_string(ts % 3),
+                               "value-" + std::to_string(100 + ts)));
+  }
+  std::vector<Writer> batches(4);
+  for (std::size_t b = 0; b < 4; ++b) {
+    enc.EncodeBody(batches[b], {records[2 * b], records[2 * b + 1]});
+  }
+  enc.AdvanceCheckpoint(/*acked_ts=*/6, records, /*base_ts=*/0);
+  // The ts 7..8 batch is lost: the go-back-N resend rewinds to the
+  // checkpoint and must match the original transmission byte-for-byte.
+  Writer resend;
+  enc.EncodeBody(resend, {records[6], records[7]});
+  EXPECT_EQ(resend.data(), batches[3].data());
+  EXPECT_EQ(enc.stats().rewinds, 1u);
+  EXPECT_EQ(enc.stats().resets, 1u);
+}
+
+TEST(BatchCodec, CheckpointBelowGcFloorFallsBackToReset) {
+  // If GC released records past the checkpoint (the laggard is headed for
+  // state transfer anyway), AdvanceCheckpoint invalidates it rather than
+  // replaying records it no longer has — and a later resend safely resets.
+  vr::BatchEncoder enc;
+  const std::vector<vr::EventRecord> records = {WriteRec(3, "k", "v3"),
+                                                WriteRec(4, "k", "v4")};
+  Writer w1;
+  enc.EncodeBody(w1, {records[0], records[1]});  // reset batch at ts 3
+  // base_ts 4: everything through ts 4 was GC'd, including the checkpoint's
+  // position (ckpt_ts 3 <= base_ts) — records[] here starts at ts 5.
+  enc.AdvanceCheckpoint(/*acked_ts=*/4, /*records=*/{}, /*base_ts=*/4);
+  Writer resend;
+  enc.EncodeBody(resend, {WriteRec(4, "k", "v4")});
+  EXPECT_EQ(enc.stats().rewinds, 0u);
+  EXPECT_EQ(enc.stats().resets, 2u);  // discontinuity healed by reset
 }
 
 TEST(BatchCodec, NewStreamIdentityRequiresReset) {
