@@ -26,12 +26,14 @@ struct CatastropheResult {
 // state), then recover everyone and see whether a view forms and whether the
 // committed state survived.
 CatastropheResult RunTrials(std::size_t replicas, std::size_t width,
-                            bool durable_viewid, int trials) {
+                            bool durable_viewid, int trials,
+                            bool durable_log = false) {
   CatastropheResult out;
   for (int t = 0; t < trials; ++t) {
     ClusterOptions opts;
     opts.seed = 9000 + t * 131 + replicas * 7 + width + (durable_viewid ? 1 : 0);
     opts.cohort.write_viewid_durably = durable_viewid;
+    opts.cohort.event_log.enabled = durable_log;
     Cluster cluster(opts);
     auto g = cluster.AddGroup("kv", replicas);
     auto client_g = cluster.AddGroup("client", 3);
@@ -106,6 +108,20 @@ int main() {
                   width);
     bench::Row("  %-36s | %4d / %-4d  | %d", label, r.catastrophes, r.trials,
                r.wrong_views);
+  }
+
+  bench::Row("\n  Ablation: write-behind durable event log ON (cohorts replay");
+  bench::Row("  their disks and re-form via formation condition 4):");
+  for (std::size_t n : {3u, 5u}) {
+    for (std::size_t width = (n + 1) / 2; width <= n; ++width) {
+      auto r = RunTrials(n, width, /*durable_viewid=*/true, kTrials,
+                         /*durable_log=*/true);
+      char label[64];
+      std::snprintf(label, sizeof(label), "n=%zu, storm width %zu, durable log",
+                    n, width);
+      bench::Row("  %-36s | %4d / %-4d  | %d", label, r.catastrophes, r.trials,
+                 r.wrong_views);
+    }
   }
 
   bench::Row("\n  Expect: width < majority -> no catastrophe; width >= majority");

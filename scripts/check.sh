@@ -13,7 +13,9 @@
 #
 # CHECK_SOAK=1 re-runs the dead-backup soak at ~10x rounds: with one backup
 # permanently crashed, the primary's resident record vector must stay
-# O(window) (the StableTs() - window GC floor, DESIGN.md §9).
+# O(window) (the StableTs() - window GC floor, DESIGN.md §9). It also scales
+# up the majority-loss storm soak (durable-log recovery + serializability
+# chain, DESIGN.md §10).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,12 +60,14 @@ if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   # The comm-buffer / replication-path suites, where the windowed protocol
   # does pointer arithmetic over the GC'd record vector.
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test'
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test'
 fi
 
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
   echo "== soak (dead backup, GC bound) =="
   CHECK_SOAK=1 build/tests/soak_test --gtest_filter='DeadBackupSoak.*'
+  echo "== soak (majority-loss storms, durable-log recovery) =="
+  CHECK_SOAK=1 build/tests/recovery_test --gtest_filter='StormSoak.*'
 fi
 
 echo "== experiments =="

@@ -83,6 +83,11 @@ class Cluster {
 
   void Crash(GroupId g, std::size_t idx) { CohortAt(g, idx).Crash(); }
   void Recover(GroupId g, std::size_t idx) { CohortAt(g, idx).Recover(); }
+  // Recovery with the durable event log lost too (disk replaced); the
+  // cohort comes back amnesiac even when options.event_log is enabled.
+  void RecoverDiskless(GroupId g, std::size_t idx) {
+    CohortAt(g, idx).RecoverDiskless();
+  }
 
   // Fresh mid for non-cohort endpoints (unreplicated clients).
   Mid AllocateMid() { return next_mid_++; }

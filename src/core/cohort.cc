@@ -45,6 +45,8 @@ Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
       snap_server_(
           simulation, options.snapshot,
           [this](Mid to, const vr::SnapshotChunkMsg& m) { SendMsg(to, m); }),
+      elog_(simulation, stable, options.event_log,
+            "elog/" + std::to_string(self), self),
       reply_waiters_(simulation.scheduler()),
       prepare_waiters_(simulation.scheduler()),
       commit_waiters_(simulation.scheduler()),
@@ -60,7 +62,8 @@ Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
   w.U64(group_);
   w.U32(self_);
   w.Vector(configuration_, [&](Mid m) { w.U32(m); });
-  stable_.ForceWrite("identity/" + std::to_string(self_), w.Take(), nullptr);
+  stable_.ForceWrite("identity/" + std::to_string(self_), w.Take(), nullptr,
+                     self_);
 }
 
 Cohort::~Cohort() {
@@ -115,6 +118,10 @@ void Cohort::ResetVolatileState() {
   batch_decoder_.Reset();
   applied_ts_ = 0;
   adopting_ = false;
+  log_recovered_ = false;
+  recovered_crash_viewid_ = ViewId{};
+  log_replay_active_ = false;
+  rejoin_pending_ = false;
   call_dedup_.clear();
   prepared_.clear();
   querying_.clear();
@@ -134,8 +141,9 @@ void Cohort::ResetVolatileState() {
   sched.Cancel(query_timer_);
   sched.Cancel(deferred_vc_timer_);
   sched.Cancel(ack_timer_);
+  sched.Cancel(rejoin_timer_);
   invite_timer_ = underling_timer_ = ping_timer_ = fd_timer_ = query_timer_ =
-      deferred_vc_timer_ = ack_timer_ = sim::kNoTimer;
+      deferred_vc_timer_ = ack_timer_ = rejoin_timer_ = sim::kNoTimer;
 }
 
 void Cohort::Crash() {
@@ -143,6 +151,12 @@ void Cohort::Crash() {
   ResetVolatileState();
   status_ = Status::kCrashed;
   net_.SetNodeUp(self_, false);
+  // The log's in-memory batch and any in-flight stable writes die with us:
+  // a force still pending (log segment, viewid) must never land after the
+  // crash (DESIGN.md §10 — the durable image is a prefix of what was
+  // issued).
+  elog_.Crash();
+  stable_.DropPending(self_);
 }
 
 void Cohort::Recover() {
@@ -162,8 +176,54 @@ void Cohort::Recover() {
   fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
                                      [this] { CheckLiveness(); });
   ArmQueryTimer();
+
+  // DESIGN.md §10: replay the durable event log before going amnesiac. The
+  // replayed state is a lower bound on what we had acknowledged (the log is
+  // write-behind), so we come back as crashed-WITH-state: invitations get a
+  // recovered acceptance whose viewid ceiling is the durable viewid (which
+  // may exceed the replayed view when the last checkpoint never landed).
+  const ViewId stable_viewid = cur_viewid_;
+  if (elog_.enabled() && RecoverFromLog()) {
+    up_to_date_ = true;
+    log_recovered_ = true;
+    recovered_crash_viewid_ = std::max(stable_viewid, cur_viewid_);
+    max_viewid_ = std::max(max_viewid_, cur_viewid_);
+    ++stats_.log_recoveries;
+    Trace("log recovery: view <%llu.%u> applied ts %llu",
+          static_cast<unsigned long long>(cur_viewid_.counter),
+          cur_view_.primary, static_cast<unsigned long long>(applied_ts_));
+    // A fresh generation supersedes any torn tail the replay rejected.
+    LogCheckpoint(applied_ts_);
+    if (cur_view_.primary == self_) {
+      // The old primary's communication buffer died with it: it must not
+      // resume the view unilaterally ("if it has just recovered from a
+      // crash, it initiates a view change") — but it does so carrying its
+      // replayed state.
+      BecomeViewManager();
+      return;
+    }
+    // Rejoin the replayed view as an active backup at viewstamp
+    // <cur_viewid_, applied_ts_>; the primary rewinds our cursor and
+    // restreams (or snapshots) the missing tail. Grace-stamp the view
+    // members so the failure detector gives the rejoin a liveness window
+    // before declaring anyone dead.
+    for (Mid m : cur_view_.Members()) last_heard_[m] = sim_.Now();
+    status_ = Status::kActive;
+    rejoin_pending_ = true;
+    SendRejoinAck();
+    return;
+  }
   // "if it has just recovered from a crash, it initiates a view change."
   BecomeViewManager();
+}
+
+void Cohort::RecoverDiskless() {
+  Trace("recover diskless");
+  // The log device is gone; the tiny §4.2 stable state (identity + viewid)
+  // is modeled as surviving — without a truthful viewid ceiling a recovered
+  // cohort could admit view formations that lost forced events.
+  elog_.Erase();
+  Recover();
 }
 
 // ---------------------------------------------------------------------------

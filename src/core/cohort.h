@@ -31,6 +31,7 @@
 #include "net/network.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
+#include "storage/event_log.h"
 #include "storage/stable_store.h"
 #include "txn/object_store.h"
 #include "txn/outcomes.h"
@@ -227,6 +228,12 @@ struct CohortStats {
   // Acks absorbed into an already-scheduled coalesced ack instead of being
   // sent as their own frame (options.ack_coalesce_delay > 0).
   std::uint64_t acks_coalesced = 0;
+  // Durable event log recovery (DESIGN.md §10): successful replays of the
+  // local log at Recover() time, records re-applied from it, and rejoin
+  // acks sent to resume the current view at the replayed viewstamp.
+  std::uint64_t log_recoveries = 0;
+  std::uint64_t log_records_replayed = 0;
+  std::uint64_t rejoin_acks_sent = 0;
   // Simulated-time instants of the last view-change start/finish, for
   // latency measurements (bench E4).
   sim::Time last_view_change_started = 0;
@@ -250,9 +257,21 @@ class Cohort : public net::FrameHandler {
   // (configuration identity + cur_viewid) survives.
   void Crash();
 
-  // Recovery from a crash: gstate is gone (up_to_date = false); the cohort
-  // immediately initiates a view change (§4).
+  // Recovery from a crash. Without a durable event log (or when its replay
+  // yields nothing trustworthy) gstate is gone (up_to_date = false) and the
+  // cohort immediately initiates a view change (§4). With a replayable log
+  // (options.event_log.enabled, DESIGN.md §10) the cohort restores the last
+  // checkpoint plus the contiguous logged suffix and rejoins as
+  // up-to-date-to-viewstamp-X: it answers invitations as crashed-with-state
+  // (view_formation.h condition 4) and asks the current primary for just
+  // the missing tail via a rejoin ack.
   void Recover();
+
+  // Recovery after losing stable storage contents too (disk replaced):
+  // erases the durable log first, then recovers amnesiac. The durable
+  // viewid is deliberately kept when present — §4.2's minimum stable state
+  // — so only explicit log state is lost.
+  void RecoverDiskless();
 
   // -- Application API ---------------------------------------------------
 
@@ -297,6 +316,11 @@ class Cohort : public net::FrameHandler {
   // A snapshot install is in flight: gstate is about to be replaced, so view
   // changes treat this cohort as crashed-equivalent (DoAccept).
   bool installing_snapshot() const { return installing_snapshot_; }
+  // State was replayed from the durable event log and no view transition has
+  // re-validated it yet: invitations are answered as crashed-with-state
+  // (DESIGN.md §10).
+  bool log_recovered() const { return log_recovered_; }
+  const storage::EventLog& event_log() const { return elog_; }
   const CohortOptions& options() const { return options_; }
   CohortOptions& mutable_options() { return options_; }
 
@@ -348,6 +372,22 @@ class Cohort : public net::FrameHandler {
   void ArmUnderlingTimer();
   void EnterActive();
   void MaybeUnilateralTweak(const std::vector<Mid>& alive);
+
+  // ---- durable event log + crash recovery (recovery.cc, DESIGN.md §10) ----
+  // Opens a fresh log generation anchored by a checkpoint of the current
+  // state (view, history, gstate, prepared set) at applied ts `ts`. Called
+  // at every full-state transition: view entry (primary and backup),
+  // snapshot install, and post-replay.
+  void LogCheckpoint(std::uint64_t ts);
+  // Write-behind append of one applied/added record (group-committed).
+  void LogApply(const vr::EventRecord& rec);
+  // Replays the durable log: restores the last checkpoint plus the
+  // contiguous apply suffix. False = nothing trustworthy (recover amnesiac).
+  bool RecoverFromLog();
+  // Tells the current primary we rejoined at applied_ts_ (re-armed until the
+  // first batch from it arrives).
+  void SendRejoinAck();
+  void ClearRejoin();
 
   // ---- backup record application (txn_server.cc) ----
   void OnBufferBatch(const vr::BufferBatchMsg& m);
@@ -464,10 +504,25 @@ class Cohort : public net::FrameHandler {
   // Snapshot transfers to laggard backups (primary side, DESIGN.md §9).
   vr::SnapshotServer snap_server_;
 
+  // ---- durable event log (DESIGN.md §10) ----
+  storage::EventLog elog_;
+  // State came from a log replay and counts only as crashed-with-state in
+  // view formation until a view transition re-validates it; the ceiling is
+  // the stable viewid at recovery time (>= the replayed view when the final
+  // checkpoint never became durable).
+  bool log_recovered_ = false;
+  ViewId recovered_crash_viewid_;
+  // A rejoin ack to the replayed view's primary is outstanding.
+  bool rejoin_pending_ = false;
+  sim::TimerId rejoin_timer_ = sim::kNoTimer;
+  // Replay in progress: ApplyRecord must not re-append to the log.
+  bool log_replay_active_ = false;
+
   // ---- view change bookkeeping ----
   struct AcceptRecord {
     Mid from;
     bool crashed;
+    bool recovered;
     Viewstamp last_vs;
     bool was_primary;
     ViewId crash_viewid;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "sim/time.h"
+#include "storage/event_log.h"
 #include "vr/comm_buffer.h"
 #include "vr/snapshot.h"
 
@@ -31,6 +32,13 @@ struct CohortOptions {
 
   // ---- Snapshot state transfer (DESIGN.md §9) ----
   vr::SnapshotTransferOptions snapshot;
+
+  // ---- Write-behind durable event log (DESIGN.md §10) ----
+  // Off by default: the paper's configuration is volatile and E9 must keep
+  // reproducing its catastrophe numbers. When enabled, applied records are
+  // group-committed to stable storage strictly behind the ack path and
+  // Recover() replays them to rejoin with state (view_formation.h cond. 4).
+  storage::EventLogOptions event_log;
 
   // ---- Transactions ----
   sim::Duration lock_wait_timeout = 150 * sim::kMillisecond;

@@ -57,6 +57,15 @@ Viewstamp Cohort::AddRecord(vr::EventRecord rec) {
     default:
       break;
   }
+  if (elog_.enabled() && rec.type != vr::EventType::kNewView) {
+    // Log a copy carrying the timestamp the buffer just assigned; newview
+    // records are covered by the checkpoint that anchors each generation.
+    vr::EventRecord copy = rec;
+    const Viewstamp vs = buffer_.Add(std::move(rec));
+    copy.ts = vs.ts;
+    LogApply(copy);
+    return vs;
+  }
   return buffer_.Add(std::move(rec));
 }
 
@@ -139,6 +148,9 @@ void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi, bool codec_reset) {
 }
 
 void Cohort::ApplyRecord(const vr::EventRecord& rec) {
+  // Write-behind durable copy (self-guarding: disabled log or replay).
+  // Newview records are excluded — each generation's checkpoint covers them.
+  if (rec.type != vr::EventType::kNewView) LogApply(rec);
   ++stats_.records_applied_as_backup;
   const bool eager = options_.eager_backup_apply;
   switch (rec.type) {
@@ -202,6 +214,13 @@ void Cohort::ApplyRecord(const vr::EventRecord& rec) {
 }
 
 void Cohort::OnBufferBatch(const vr::BufferBatchMsg& m) {
+  // First traffic from the primary we rejoined: it has rewound its cursors
+  // for us, so stop re-sending the rejoin ack (a resend would rewind them
+  // again and thrash the restream).
+  if (rejoin_pending_ && status_ == Status::kActive &&
+      m.viewid == cur_viewid_ && m.from == cur_view_.primary) {
+    ClearRejoin();
+  }
   if (m.stale) {
     // Duplicate of a compressed batch already consumed. The resend means our
     // ack for it was lost: the primary may have rewound to a checkpoint
@@ -352,6 +371,9 @@ void Cohort::OnSnapshotChunk(const vr::SnapshotChunkMsg& m) {
       m.vs.view != cur_viewid_) {
     return;
   }
+  // The primary answered our rejoin with a snapshot (the missing tail fell
+  // below its GC floor): the rejoin is being serviced, stop re-sending it.
+  if (rejoin_pending_) ClearRejoin();
   if (m.vs.ts <= applied_ts_) {
     // The record stream caught us up past this snapshot before the transfer
     // finished. A plain cumulative ack tells the primary to stand down.
@@ -440,6 +462,20 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
   batch_decoder_.Reset();
   applied_ts_ = vs.ts;
   installing_snapshot_ = false;
+  if (log_recovered_ && !(cur_viewid_ < recovered_crash_viewid_)) {
+    // The snapshot covers every record the primary ever streamed in this
+    // view, hence everything we could have acknowledged before the crash:
+    // the replayed lower bound has been re-validated and this cohort may
+    // answer view changes normally again. Only sound when the stable viewid
+    // at recovery did not exceed the replayed view — otherwise we may have
+    // lost acknowledgements from a LATER view this snapshot knows nothing
+    // about, and must stay crashed-with-state until a view transition.
+    log_recovered_ = false;
+    recovered_crash_viewid_ = ViewId{};
+  }
+  // Anchor a fresh log generation at the installed state: the old one's
+  // suffix no longer matches applied_ts_ and must not replay after it.
+  LogCheckpoint(vs.ts);
   ++stats_.snapshots_installed;
   Trace("installed snapshot at %s (%zu bytes)", vs.ToString().c_str(),
         payload.size());

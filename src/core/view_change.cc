@@ -53,11 +53,16 @@ void Cohort::MakeInvitations() {
   self.from = self_;
   // A half-installed snapshot means our gstate is about to be wholesale
   // replaced: for view formation we know nothing (crashed-equivalent), just
-  // like DoAccept reports to other managers.
-  self.crashed = !up_to_date_ || installing_snapshot_;
+  // like DoAccept reports to other managers. Log-recovered state likewise
+  // only counts as crashed-with-state (DESIGN.md §10): the write-behind log
+  // may miss acknowledgements, so the replayed viewstamp is a lower bound.
+  self.crashed = !up_to_date_ || installing_snapshot_ || log_recovered_;
+  self.recovered = log_recovered_ && up_to_date_ && !installing_snapshot_;
   self.last_vs = history_.Latest();
-  self.was_primary = !self.crashed && cur_view_.primary == self_;
-  self.crash_viewid = cur_viewid_;
+  self.was_primary =
+      (!self.crashed || self.recovered) && cur_view_.primary == self_;
+  self.crash_viewid =
+      self.recovered ? recovered_crash_viewid_ : cur_viewid_;
   accepts_[self_] = self;
 
   vr::InviteMsg invite;
@@ -82,7 +87,16 @@ void Cohort::DoAccept(ViewId vid, Mid inviter) {
   accept.group = group_;
   accept.invite_viewid = vid;
   accept.from = self_;
-  if (up_to_date_ && !installing_snapshot_) {
+  if (up_to_date_ && !installing_snapshot_ && log_recovered_) {
+    // Crashed-with-state (DESIGN.md §10): the replayed viewstamp counts
+    // toward forced-event survival (condition 4) but never as a normal
+    // acceptance — the write-behind log may trail what we acknowledged.
+    accept.crashed = true;
+    accept.recovered = true;
+    accept.last_vs = history_.Latest();
+    accept.was_primary = cur_view_.primary == self_ && !history_.Empty();
+    accept.crash_viewid = recovered_crash_viewid_;
+  } else if (up_to_date_ && !installing_snapshot_) {
     accept.crashed = false;
     accept.last_vs = history_.Latest();
     accept.was_primary = cur_view_.primary == self_ && !history_.Empty();
@@ -117,6 +131,7 @@ void Cohort::OnInvite(const vr::InviteMsg& m) {
   invite_timer_ = sim::kNoTimer;
   buffer_.Stop();
   snap_server_.Stop();
+  ClearRejoin();  // the replayed view is being superseded
   // NOTE: snap_sink_ / installing_snapshot_ deliberately survive the
   // invitation — the half-installed state is exactly what DoAccept must keep
   // reporting as crashed-equivalent until a new view replaces the gstate.
@@ -131,6 +146,7 @@ void Cohort::OnAccept(const vr::AcceptMsg& m) {
   AcceptRecord rec;
   rec.from = m.from;
   rec.crashed = m.crashed;
+  rec.recovered = m.recovered;
   rec.last_vs = m.last_vs;
   rec.was_primary = m.was_primary;
   rec.crash_viewid = m.crash_viewid;
@@ -154,6 +170,7 @@ void Cohort::TryFormView() {
     vr::Acceptance r;
     r.from = a.from;
     r.crashed = a.crashed;
+    r.recovered = a.recovered;
     r.last_vs = a.last_vs;
     r.was_primary = a.was_primary;
     r.crash_viewid = a.crash_viewid;
@@ -264,7 +281,8 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
                          if (start_view_epoch_ != epoch) return;
                          if (status_ == Status::kCrashed) return;
                          FinishStartViewAsPrimary(v, vid);
-                       });
+                       },
+                       self_);
   } else {
     FinishStartViewAsPrimary(v, vid);
   }
@@ -280,6 +298,15 @@ void Cohort::FinishStartViewAsPrimary(View v, ViewId vid) {
       vr::EventRecord::NewView(v, history_, SnapshotGstate());
   buffer_.Add(std::move(newview));
   up_to_date_ = true;
+  // Entering a formed view re-validates our state: it is no longer merely
+  // log-replayed, and the log restarts from a checkpoint of it. The viewid
+  // is already durable here, so a crash before this checkpoint lands leaves
+  // crash_viewid > the replayed view — condition 4 then refuses formation
+  // until someone else surfaces this view's state (conservative, safe).
+  log_recovered_ = false;
+  recovered_crash_viewid_ = ViewId{};
+  ClearRejoin();
+  LogCheckpoint(history_.Latest().ts);
   EnterActive();
 }
 
@@ -302,6 +329,15 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   ClearSnapshotSink();
   applied_ts_ = newview_ts;
 
+  // Adopting the newview record re-validates our state; the log restarts
+  // from a checkpoint of it. Issued BEFORE the viewid force: completions
+  // are FIFO, so whenever the durable viewid says we entered this view, the
+  // checkpoint anchoring its log generation is durable too.
+  log_recovered_ = false;
+  recovered_crash_viewid_ = ViewId{};
+  ClearRejoin();
+  LogCheckpoint(newview_ts);
+
   const std::uint64_t epoch = ++start_view_epoch_;
   auto finish = [this, epoch] {
     if (start_view_epoch_ != epoch) return;
@@ -313,7 +349,8 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   if (options_.write_viewid_durably) {
     wire::Writer w;
     vid.Encode(w);
-    stable_.ForceWrite("viewid/" + std::to_string(self_), w.Take(), finish);
+    stable_.ForceWrite("viewid/" + std::to_string(self_), w.Take(), finish,
+                       self_);
   } else {
     finish();
   }

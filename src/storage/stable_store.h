@@ -7,6 +7,15 @@
 // data/prepare/commit records to stable storage, which is where the paper's
 // E2 performance claim comes from. This class models both uses: a key-value
 // store that survives crashes, with a configurable forced-write latency.
+//
+// Crash semantics: a ForceWrite is pending until force_latency elapses.
+// A node that crashes with writes in flight must lose them — the scheduled
+// completion must NOT install the value afterwards (the node was dead when
+// the platter spun). DropPending(owner) models exactly that; with
+// torn_writes enabled the write that was physically mid-flight (the oldest
+// pending one — completions are FIFO because every write shares
+// force_latency) persists a truncated prefix instead of vanishing, which is
+// what log-recovery code must tolerate (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
@@ -24,10 +33,18 @@ struct StableStoreOptions {
   // Latency of a forced (synchronous, durable) write. The paper-era default
   // models a disk write; modern SSD/NVRAM values are swept in bench E2.
   sim::Duration force_latency = 10 * sim::kMillisecond;
+  // Deterministic torn-write mode for recovery tests: when DropPending
+  // cancels in-flight writes, the oldest one persists the first half of its
+  // value (a torn sector) instead of disappearing entirely.
+  bool torn_writes = false;
 };
 
 class StableStore {
  public:
+  // Writers identify themselves so a crash can cancel exactly their pending
+  // writes. 0 = unowned (never dropped).
+  using Owner = std::uint32_t;
+
   StableStore(sim::Simulation& simulation, StableStoreOptions options)
       : sim_(simulation), options_(options) {}
   StableStore(const StableStore&) = delete;
@@ -35,20 +52,47 @@ class StableStore {
 
   // Durably writes `value` under `key`; `on_durable` runs once the write has
   // reached stable storage (after force_latency). The value is visible to
-  // Read() immediately after on_durable runs, and never lost afterwards.
+  // Read() immediately after on_durable runs, and never lost afterwards —
+  // unless the write is still pending when DropPending(owner) cancels it.
   void ForceWrite(std::string key, std::vector<std::uint8_t> value,
-                  std::function<void()> on_durable) {
-    ++pending_;
+                  std::function<void()> on_durable, Owner owner = 0) {
     ++stats_.forced_writes;
     stats_.bytes_written += value.size();
-    sim_.scheduler().After(
-        options_.force_latency,
-        [this, key = std::move(key), value = std::move(value),
-         cb = std::move(on_durable)]() mutable {
-          data_[std::move(key)] = std::move(value);
-          --pending_;
-          if (cb) cb();
-        });
+    const std::uint64_t id = next_write_id_++;
+    pending_.emplace(
+        id, PendingWrite{owner, std::move(key), std::move(value),
+                         std::move(on_durable)});
+    sim_.scheduler().After(options_.force_latency, [this, id] {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // dropped by a crash
+      PendingWrite w = std::move(it->second);
+      pending_.erase(it);
+      data_[std::move(w.key)] = std::move(w.value);
+      if (w.on_durable) w.on_durable();
+    });
+  }
+
+  // Crash hook: cancels every pending write issued by `owner`. None of them
+  // becomes durable and none of their callbacks run. In torn-write mode the
+  // oldest pending write — the one mid-flight at crash time — leaves a
+  // truncated value behind for recovery code to reject.
+  void DropPending(Owner owner) {
+    bool torn_done = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.owner != owner || owner == 0) {
+        ++it;
+        continue;
+      }
+      if (options_.torn_writes && !torn_done) {
+        torn_done = true;
+        std::vector<std::uint8_t> torn = it->second.value;
+        torn.resize(torn.size() / 2);
+        data_[it->second.key] = std::move(torn);
+        ++stats_.torn_writes;
+      }
+      ++stats_.writes_dropped;
+      it = pending_.erase(it);
+    }
   }
 
   // Reads a previously forced value. Models post-crash recovery: only data
@@ -63,24 +107,55 @@ class StableStore {
     return data_.count(key) != 0;
   }
 
+  // Immediately removes every durable key starting with `prefix` (models a
+  // reformatted / replaced disk at recovery time). Returns the erase count.
+  std::size_t EraseByPrefix(const std::string& prefix) {
+    std::size_t n = 0;
+    auto it = data_.lower_bound(prefix);
+    while (it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = data_.erase(it);
+      ++n;
+    }
+    return n;
+  }
+
+  // Test helper: directly overwrites a durable value, bypassing latency —
+  // models media corruption (bit rot) for recovery tests.
+  void Poke(std::string key, std::vector<std::uint8_t> value) {
+    data_[std::move(key)] = std::move(value);
+  }
+
   struct Stats {
     std::uint64_t forced_writes = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t writes_dropped = 0;  // cancelled by DropPending
+    std::uint64_t torn_writes = 0;     // truncated values left behind
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
-  int pending_writes() const { return pending_; }
+  int pending_writes() const { return static_cast<int>(pending_.size()); }
 
   const StableStoreOptions& options() const { return options_; }
   void set_force_latency(sim::Duration d) { options_.force_latency = d; }
+  void set_torn_writes(bool v) { options_.torn_writes = v; }
 
  private:
+  struct PendingWrite {
+    Owner owner;
+    std::string key;
+    std::vector<std::uint8_t> value;
+    std::function<void()> on_durable;
+  };
+
   sim::Simulation& sim_;
   StableStoreOptions options_;
   std::map<std::string, std::vector<std::uint8_t>> data_;
+  // Keyed by issue id: iteration order == issue order == completion order
+  // (every write shares force_latency, so completions are FIFO).
+  std::map<std::uint64_t, PendingWrite> pending_;
+  std::uint64_t next_write_id_ = 1;
   Stats stats_;
-  int pending_ = 0;
 };
 
 }  // namespace vsr::storage

@@ -134,6 +134,21 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   }
   ++stats_.acks_received;
   BackupState& st = it->second;
+  if (ack.rejoin) {
+    // A log-recovered backup resumed at its replayed ts; anything it acked
+    // beyond that before the crash is gone from its memory. Rewind both
+    // cursors (even backwards — pre-crash acks are void) and resync the
+    // codec; the tail restreams below, or a snapshot is served once the
+    // rewound ack sits under the GC floor.
+    ++stats_.rejoins;
+    st.acked = ack.ts;
+    st.sent = ack.ts;
+    st.encoder.ForceReset();
+    st.state_transfer = false;
+    st.deadline = 0;
+    st.gap_resent_hi = 0;
+    st.gap_deadline = 0;
+  }
   const bool was_stalled = st.sent >= st.acked + options_.window;
   const bool progress = ack.ts > st.acked;
   if (progress) {
@@ -196,6 +211,10 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   // Pipelining: a backup that was window-stalled resumes the moment the ack
   // frees space (new records otherwise ride the next flush tick).
   if (was_stalled && st.sent < last_ts()) SendTo(ack.from);
+
+  // A rejoining backup gets its tail immediately; SendTo routes it through
+  // snapshot state transfer if the rewound ack fell below the GC floor.
+  if (ack.rejoin) SendTo(ack.from);
 
   ArmRetransmitTimer();
   CollectGarbage();
@@ -344,7 +363,20 @@ void CommBuffer::SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi) {
   assert(lo >= base_ts_ && hi <= last_ts());
   auto st = state_.find(backup);
   while (lo < hi) {
-    const std::uint64_t end = std::min(hi, lo + options_.max_batch);
+    std::uint64_t end = std::min(hi, lo + options_.max_batch);
+    if (options_.max_batch_bytes > 0) {
+      // Byte budget: cut the batch once the cumulative pre-compression
+      // encoding reaches the target (never below one record).
+      std::size_t bytes = 0;
+      std::uint64_t cut = lo;
+      while (cut < end) {
+        bytes += records_[static_cast<std::size_t>(cut - base_ts_)]
+                     .EncodedSize();
+        ++cut;
+        if (bytes >= options_.max_batch_bytes) break;
+      }
+      end = std::max(cut, lo + 1);
+    }
     BufferBatchMsg batch;
     batch.group = group_;
     batch.viewid = viewid_;

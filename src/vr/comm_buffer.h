@@ -59,6 +59,12 @@ struct CommBufferOptions {
   sim::Duration force_timeout = 400 * sim::kMillisecond;
   // Max records per BufferBatch message.
   std::size_t max_batch = 64;
+  // Byte-budget companion to max_batch: a batch is cut early once the
+  // cumulative pre-compression encoding of its records reaches this many
+  // bytes (always at least one record per batch). 0 disables the budget.
+  // Counted before compression so the budget is stable across codec modes;
+  // the event log's group commit applies the same idea to segment writes.
+  std::size_t max_batch_bytes = 0;
   // Max in-flight (sent but unacknowledged) records per backup.
   std::size_t window = 1024;
   // Wire compression of batches (DESIGN.md §8): kDict delta/dictionary-
@@ -166,6 +172,9 @@ class CommBuffer {
     std::uint64_t buffer_high_water = 0;
     // Acks discarded: wrong group, unknown sender, or ts beyond last_ts().
     std::uint64_t acks_rejected = 0;
+    // Log-recovered rejoin acks honored: the backup's cursors were rewound
+    // to its replayed ts and the tail restreamed (or snapshot-served).
+    std::uint64_t rejoins = 0;
     // Acks accepted from backups of this view. With backup-side ack
     // coalescing on, this (and the kBufferAck frame count) drops while the
     // replication watermark still advances.

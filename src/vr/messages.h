@@ -121,6 +121,10 @@ struct AcceptMsg {
   // primary of that viewstamp's view.
   Viewstamp last_vs;
   bool was_primary = false;
+  // Crash acceptance refinement (DESIGN.md §10): the cohort replayed a
+  // durable event log and last_vs/was_primary describe the replayed state;
+  // crash_viewid stays the stable-storage viewid ceiling.
+  bool recovered = false;
   // Crash acceptance: cur_viewid recovered from stable storage.
   ViewId crash_viewid;
 
@@ -132,6 +136,7 @@ struct AcceptMsg {
     last_vs.Encode(w);
     w.Bool(was_primary);
     crash_viewid.Encode(w);
+    w.Bool(recovered);
   }
   static AcceptMsg Decode(wire::Reader& r) {
     AcceptMsg m;
@@ -142,6 +147,8 @@ struct AcceptMsg {
     m.last_vs = Viewstamp::Decode(r);
     m.was_primary = r.Bool();
     m.crash_viewid = ViewId::Decode(r);
+    m.recovered = r.Bool();
+    if (m.recovered && !m.crashed) r.MarkBad();
     return m;
   }
 };
@@ -223,6 +230,11 @@ struct BufferAckMsg {
   // started, poisoned, or just installed a snapshot): the primary must open
   // a fresh generation (reset batch) on its next send.
   bool codec_reset = false;
+  // Log-recovered rejoin (DESIGN.md §10): the backup replayed its durable
+  // log up to `ts` and rejoined the view; the primary must rewind this
+  // backup's cursors to ts (pre-crash acks beyond it are void — the backup
+  // lost them) and restream or snapshot the tail.
+  bool rejoin = false;
 
   void Encode(wire::Writer& w) const {
     w.U64(group);
@@ -232,6 +244,7 @@ struct BufferAckMsg {
     w.Bool(gap);
     w.U64(gap_hi);
     w.Bool(codec_reset);
+    w.Bool(rejoin);
   }
   static BufferAckMsg Decode(wire::Reader& r) {
     BufferAckMsg m;
@@ -242,6 +255,7 @@ struct BufferAckMsg {
     m.gap = r.Bool();
     m.gap_hi = r.U64();
     m.codec_reset = r.Bool();
+    m.rejoin = r.Bool();
     if (m.gap && m.gap_hi <= m.ts) r.MarkBad();
     return m;
   }

@@ -3,6 +3,66 @@
 #include <algorithm>
 
 namespace vsr::vr {
+namespace {
+
+// Builds the result once a primary-selection pool and target viewstamp are
+// decided: primary = holder of `target` in the pool, preferring the old
+// primary of that view, then the lowest mid (determinism).
+FormationResult Finish(const std::vector<Acceptance>& accepts,
+                       const Viewstamp& target, bool include_recovered,
+                       int condition) {
+  Mid primary = 0;
+  bool chosen = false;
+  bool chosen_was_primary = false;
+  for (const Acceptance& a : accepts) {
+    if (a.crashed && !(include_recovered && a.recovered)) continue;
+    if (a.last_vs != target) continue;
+    if (!chosen || (a.was_primary && !chosen_was_primary) ||
+        (a.was_primary == chosen_was_primary && a.from < primary)) {
+      primary = a.from;
+      chosen = true;
+      chosen_was_primary = a.was_primary;
+    }
+  }
+  FormationResult result;
+  result.condition = condition;
+  result.view.primary = primary;
+  for (const Acceptance& a : accepts) {
+    if (a.from != primary) result.view.backups.push_back(a.from);
+  }
+  std::sort(result.view.backups.begin(), result.view.backups.end());
+  return result;
+}
+
+// Condition 4 (view_formation.h): full configuration present, every
+// acceptance state-bearing (normal or log-recovered), and the best
+// surviving viewstamp reaches every acceptance's viewid ceiling.
+std::optional<FormationResult> TryCondition4(
+    const std::vector<Acceptance>& accepts, std::size_t config_size) {
+  if (accepts.size() < config_size) return std::nullopt;
+  Viewstamp best;
+  bool have_best = false;
+  bool any_recovered = false;
+  for (const Acceptance& a : accepts) {
+    if (a.crashed && !a.recovered) return std::nullopt;  // amnesiac: no bound
+    if (a.crashed) any_recovered = true;
+    if (!have_best || a.last_vs > best) best = a.last_vs;
+    have_best = true;
+  }
+  // Without a recovered acceptance conditions 0–3 already decided (all
+  // normal is condition 0); keep this path strictly additive.
+  if (!any_recovered || !have_best) return std::nullopt;
+  for (const Acceptance& a : accepts) {
+    // A normal acceptance's ceiling is its own viewstamp's view, <= best by
+    // construction; only recovered ceilings (stable viewid, which may exceed
+    // the replayed view if the final checkpoint never hit the disk) bite.
+    const ViewId ceiling = a.crashed ? a.crash_viewid : a.last_vs.view;
+    if (best.view < ceiling) return std::nullopt;
+  }
+  return Finish(accepts, best, /*include_recovered=*/true, 4);
+}
+
+}  // namespace
 
 std::optional<FormationResult> TryFormView(
     const std::vector<Acceptance>& accepts, std::size_t config_size) {
@@ -25,8 +85,9 @@ std::optional<FormationResult> TryFormView(
     }
   }
   // With no normal acceptance there is no state to initialize the view from
-  // (all-crashed = the §4.2 catastrophe).
-  if (!have_normal) return std::nullopt;
+  // (all-crashed = the §4.2 catastrophe) — unless every crashed acceptance
+  // replayed a durable log and condition 4 holds.
+  if (!have_normal) return TryCondition4(accepts, config_size);
   const ViewId normal_viewid = normal_max.view;
 
   int condition = 0;
@@ -41,35 +102,15 @@ std::optional<FormationResult> TryFormView(
           condition = 3;
         }
       }
-      if (condition != 3) return std::nullopt;
+      if (condition != 3) return TryCondition4(accepts, config_size);
     } else {
-      return std::nullopt;  // crash_viewid > normal_viewid: information lost
+      // crash_viewid > normal_viewid: information lost (unless recovered
+      // logs cover the gap).
+      return TryCondition4(accepts, config_size);
     }
   }
 
-  // Primary selection: largest normal viewstamp; prefer the old primary of
-  // that view among ties; break remaining ties by lowest mid (determinism).
-  Mid primary = 0;
-  bool chosen = false;
-  bool chosen_was_primary = false;
-  for (const Acceptance& a : accepts) {
-    if (a.crashed || a.last_vs != normal_max) continue;
-    if (!chosen || (a.was_primary && !chosen_was_primary) ||
-        (a.was_primary == chosen_was_primary && a.from < primary)) {
-      primary = a.from;
-      chosen = true;
-      chosen_was_primary = a.was_primary;
-    }
-  }
-
-  FormationResult result;
-  result.condition = condition;
-  result.view.primary = primary;
-  for (const Acceptance& a : accepts) {
-    if (a.from != primary) result.view.backups.push_back(a.from);
-  }
-  std::sort(result.view.backups.begin(), result.view.backups.end());
-  return result;
+  return Finish(accepts, normal_max, /*include_recovered=*/false, condition);
 }
 
 }  // namespace vsr::vr

@@ -12,6 +12,23 @@
 //  of that view is selected if possible, since this causes minimal
 //  disruption in the system."
 //
+// Condition 4 (DESIGN.md §10, not in the paper) extends the rule for
+// log-recovered cohorts: a cohort that replayed a write-behind durable log
+// answers as crashed-with-state — `crashed` AND `recovered`, carrying both
+// the replayed viewstamp (last_vs, was_primary) and its stable-storage
+// viewid ceiling (crash_viewid). Because the log trails the ack path, the
+// replayed viewstamp is only a lower bound on what the cohort had
+// acknowledged before the crash, so such an acceptance can never count as
+// normal. When conditions 1–3 fail, formation is still sound if
+//    4. the FULL configuration accepted, every acceptance bears state
+//       (normal or recovered), and the best surviving viewstamp's view is
+//       >= every acceptance's viewid ceiling
+// — then every forced event reached at least one surviving image, except
+// those acknowledged within the final un-flushed group-commit window, which
+// no disk ever saw (the documented residual loss window of the write-behind
+// trade; a §4.2 catastrophe with surviving disks shrinks from "group lost
+// forever" to "at most the last flush interval of acknowledgements").
+//
 // Extracted from the cohort so the conditions can be tested exhaustively in
 // isolation (tests/view_formation_test.cc sweeps them against a brute-force
 // oracle).
@@ -27,18 +44,23 @@ namespace vsr::vr {
 // One cohort's response to an invitation (§4): normal acceptances carry the
 // cohort's current viewstamp and whether it was the primary of that
 // viewstamp's view; crash acceptances carry only the stable-storage viewid.
+// Log-recovered acceptances (crashed && recovered) carry all of the above:
+// the viewstamp fields describe the replayed state, crash_viewid the
+// durable viewid ceiling.
 struct Acceptance {
   Mid from = 0;
   bool crashed = false;
-  Viewstamp last_vs;        // normal only
-  bool was_primary = false; // normal only
+  bool recovered = false;   // crashed only: state replayed from a durable log
+  Viewstamp last_vs;        // normal or recovered
+  bool was_primary = false; // normal or recovered
   ViewId crash_viewid;      // crashed only
 };
 
 struct FormationResult {
   View view;
   // Diagnostics for tests/telemetry: which condition admitted the crashed
-  // acceptances (0 = none present, 1..3 = the paper's conditions).
+  // acceptances (0 = none present, 1..3 = the paper's conditions, 4 = the
+  // full-configuration log-recovery extension).
   int condition = 0;
 };
 

@@ -10,7 +10,10 @@
 namespace vsr::workload {
 
 struct FailureEvent {
-  enum class Kind { kCrash, kRecover, kPartition, kHeal } kind;
+  // kRecover models a reboot with the disk intact (the durable event log,
+  // when enabled, replays); kRecoverDiskless models a disk replacement —
+  // the log is erased first and the cohort comes back amnesiac.
+  enum class Kind { kCrash, kRecover, kRecoverDiskless, kPartition, kHeal } kind;
   sim::Time at = 0;
   // kCrash / kRecover
   vr::GroupId group = 0;
@@ -24,6 +27,11 @@ struct FailureEvent {
   }
   static FailureEvent Recover(sim::Time at, vr::GroupId g, std::size_t idx) {
     FailureEvent e{Kind::kRecover, at, g, idx, {}};
+    return e;
+  }
+  static FailureEvent RecoverDiskless(sim::Time at, vr::GroupId g,
+                                      std::size_t idx) {
+    FailureEvent e{Kind::kRecoverDiskless, at, g, idx, {}};
     return e;
   }
   static FailureEvent Partition(sim::Time at,
@@ -48,6 +56,9 @@ inline void ArmFailureSchedule(client::Cluster& cluster,
           break;
         case FailureEvent::Kind::kRecover:
           cluster.Recover(e.group, e.index);
+          break;
+        case FailureEvent::Kind::kRecoverDiskless:
+          cluster.RecoverDiskless(e.group, e.index);
           break;
         case FailureEvent::Kind::kPartition:
           cluster.network().Partition(e.sides);

@@ -114,6 +114,105 @@ TEST(ViewFormation, DeterministicTieBreakByMid) {
   EXPECT_EQ(r->view.primary, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Condition 4 (DESIGN.md §10): log-recovered acceptances — crashed-with-state.
+// ---------------------------------------------------------------------------
+
+Acceptance Recovered(Mid from, ViewId view, std::uint64_t ts, ViewId ceiling,
+                     bool was_primary = false) {
+  Acceptance a;
+  a.from = from;
+  a.crashed = true;
+  a.recovered = true;
+  a.last_vs = {view, ts};
+  a.was_primary = was_primary;
+  a.crash_viewid = ceiling;
+  return a;
+}
+
+TEST(ViewFormation, Condition4AllRecoveredReForms) {
+  // The §4.2 catastrophe with surviving disks: every cohort crashed but all
+  // replayed a durable log. Full configuration + state everywhere + ceilings
+  // covered => form from the best surviving viewstamp.
+  const ViewId v{5, 1};
+  auto r = TryFormView({Recovered(1, v, 9, v, /*was_primary=*/true),
+                        Recovered(2, v, 7, v), Recovered(3, v, 4, v)},
+                       3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 4);
+  EXPECT_EQ(r->view.primary, 1u);  // holder of the best replayed viewstamp
+  EXPECT_EQ(r->view.Size(), 3u);
+}
+
+TEST(ViewFormation, Condition4RequiresFullConfiguration) {
+  // The replayed state is only a LOWER BOUND on pre-crash acknowledgements:
+  // a missing cohort's image might hold forced events every present log
+  // lost, so a mere majority of recovered acceptances must NOT form.
+  const ViewId v{5, 1};
+  EXPECT_FALSE(
+      TryFormView({Recovered(1, v, 9, v, true), Recovered(2, v, 7, v)}, 3)
+          .has_value());
+}
+
+TEST(ViewFormation, Condition4RejectsAmnesiacMix) {
+  // One disk was replaced: its cohort recovered amnesiac (plain crashed).
+  // Its lost image may have been the only holder of some forced event, so
+  // the storm remains a catastrophe.
+  const ViewId v{5, 1};
+  EXPECT_FALSE(TryFormView({Recovered(1, v, 9, v, true),
+                            Recovered(2, v, 7, v), Crashed(3, v)},
+                           3)
+                   .has_value());
+}
+
+TEST(ViewFormation, Condition4CeilingBlocksNewerDurableViewid) {
+  // Cohort 3's stable viewid says it helped form view 6, but the best
+  // surviving state is from view 5: view 6 may hold acknowledgements no
+  // replayed log captured (its final checkpoint never hit the disk).
+  const ViewId v5{5, 1}, v6{6, 3};
+  EXPECT_FALSE(TryFormView({Recovered(1, v5, 9, v5, true),
+                            Recovered(2, v5, 7, v5), Recovered(3, v5, 2, v6)},
+                           3)
+                   .has_value());
+}
+
+TEST(ViewFormation, Condition4MixesNormalAndRecovered) {
+  // A live backup plus two log-recovered peers: conditions 1-3 fail (one
+  // normal acceptance, not the old primary), but the full configuration is
+  // present with state everywhere — condition 4 forms from the normal
+  // acceptance's viewstamp, which is the best surviving one.
+  const ViewId v{5, 1};
+  auto r = TryFormView(
+      {Normal(2, v, 9), Recovered(1, v, 8, v, true), Recovered(3, v, 4, v)},
+      3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 4);
+  EXPECT_EQ(r->view.primary, 2u);
+}
+
+TEST(ViewFormation, RecoveredNeverCountsAsNormal) {
+  // A recovered OLD PRIMARY must not satisfy condition 3's "the primary of
+  // view normal-viewid has done a normal acceptance": its replayed state is
+  // a lower bound, not the full pre-crash image. With only a majority
+  // present, formation must fail.
+  const ViewId v{5, 1};
+  EXPECT_FALSE(
+      TryFormView({Normal(2, v, 9), Recovered(1, v, 9, v, /*was_primary=*/true)},
+                  3)
+          .has_value());
+}
+
+TEST(ViewFormation, Condition4ZeroTsStateStillCounts) {
+  // A recovered cohort whose checkpoint was at ts 0 (fresh view) is still
+  // state-bearing — last_vs names the view it belonged to.
+  const ViewId v{5, 1};
+  auto r = TryFormView({Recovered(1, v, 0, v, true), Recovered(2, v, 0, v),
+                        Recovered(3, v, 0, v)},
+                       3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->condition, 4);
+}
+
 // Property: TryFormView agrees with a direct transcription of the paper's
 // rule on random acceptance sets.
 class FormationProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -214,6 +214,27 @@ TEST(Messages, ViewChangeMessagesRoundTrip) {
   auto aout = RoundTrip(acc);
   EXPECT_EQ(aout.last_vs, acc.last_vs);
   EXPECT_TRUE(aout.was_primary);
+  EXPECT_FALSE(aout.recovered);
+
+  // Log-recovered acceptance (crashed-with-state, DESIGN.md §10).
+  acc.crashed = true;
+  acc.recovered = true;
+  aout = RoundTrip(acc);
+  EXPECT_TRUE(aout.crashed);
+  EXPECT_TRUE(aout.recovered);
+  EXPECT_EQ(aout.crash_viewid, acc.crash_viewid);
+
+  // `recovered` without `crashed` is a contradiction the decoder must flag.
+  acc.crashed = false;
+  {
+    Writer w;
+    acc.Encode(w);
+    auto bytes = w.Take();
+    Reader r(bytes);
+    vr::AcceptMsg::Decode(r);
+    EXPECT_FALSE(r.ok());
+  }
+  acc.crashed = true;
 
   vr::InitViewMsg init;
   init.group = 1;
@@ -296,6 +317,22 @@ TEST(Messages, BufferAckCodecResetRoundTrip) {
   EXPECT_TRUE(out.codec_reset);
   a.codec_reset = false;
   EXPECT_FALSE(RoundTrip(a).codec_reset);
+}
+
+TEST(Messages, BufferAckRejoinRoundTrip) {
+  // Rejoin acks (DESIGN.md §10) ask the primary to rewind its cursors to
+  // the replayed watermark, even backwards.
+  vr::BufferAckMsg a;
+  a.group = 6;
+  a.viewid = {3, 1};
+  a.from = 2;
+  a.ts = 41;
+  a.rejoin = true;
+  auto out = RoundTrip(a);
+  EXPECT_TRUE(out.rejoin);
+  EXPECT_EQ(out.ts, 41u);
+  a.rejoin = false;
+  EXPECT_FALSE(RoundTrip(a).rejoin);
 }
 
 TEST(Messages, SnapshotChunkAndAckRoundTrip) {
