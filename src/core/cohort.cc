@@ -210,6 +210,8 @@ void Cohort::Recover() {
     for (Mid m : cur_view_.Members()) last_heard_[m] = sim_.Now();
     status_ = Status::kActive;
     rejoin_pending_ = true;
+    rejoin_epoch_ =
+        std::max(rejoin_epoch_ + 1, static_cast<std::uint64_t>(sim_.Now()));
     SendRejoinAck();
     return;
   }

@@ -514,6 +514,12 @@ class Cohort : public net::FrameHandler {
   ViewId recovered_crash_viewid_;
   // A rejoin ack to the replayed view's primary is outstanding.
   bool rejoin_pending_ = false;
+  // Recovery-episode tag carried in rejoin acks so the primary services
+  // each episode exactly once (duplicates are retransmitted until the first
+  // batch arrives and may arrive late). Derived from sim time at recovery —
+  // crash wipes memory, but time is monotonic across crashes, so a later
+  // recovery always tags a strictly larger epoch.
+  std::uint64_t rejoin_epoch_ = 0;
   sim::TimerId rejoin_timer_ = sim::kNoTimer;
   // Replay in progress: ApplyRecord must not re-append to the log.
   bool log_replay_active_ = false;

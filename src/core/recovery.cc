@@ -127,6 +127,7 @@ void Cohort::SendRejoinAck() {
   ack.from = self_;
   ack.ts = applied_ts_;
   ack.rejoin = true;
+  ack.rejoin_epoch = rejoin_epoch_;
   SendMsg(cur_view_.primary, ack);
   ++stats_.rejoin_acks_sent;
   sim_.scheduler().Cancel(rejoin_timer_);

@@ -1,5 +1,8 @@
 #include "storage/event_log.h"
 
+#include <functional>
+#include <utility>
+
 #include "wire/buffer.h"
 
 namespace vsr::storage {
@@ -47,12 +50,26 @@ void EventLog::BeginGeneration(Entry anchor) {
   sim_.scheduler().Cancel(flush_timer_);
   flush_timer_ = sim::kNoTimer;
 
+  const std::uint64_t old_gen = gen_;
   ++gen_;
   next_seq_ = 1;
   ++stats_.generations;
   wire::Writer head;
   head.U64(gen_);
-  store_.ForceWrite(HeadKey(), head.Take(), nullptr, owner_);
+  // Once the new head pointer is durable, replay can never read the old
+  // generation again, so its segments are dead weight — erase them. Must
+  // wait for durability: a crash before the head lands replays the OLD
+  // generation, which therefore has to stay intact until then. Erasing is
+  // also a safety requirement, not just hygiene: a garbled head resets the
+  // generation counter, and a reused generation number must never find
+  // valid-CRC segments from a previous life (see Replay).
+  std::function<void()> on_durable;
+  if (old_gen != 0) {
+    on_durable = [store = &store_, prefix = GenPrefix(old_gen)] {
+      store->EraseByPrefix(prefix);
+    };
+  }
+  store_.ForceWrite(HeadKey(), head.Take(), std::move(on_durable), owner_);
   pending_bytes_ = anchor.payload.size() + 1;
   pending_.push_back(std::move(anchor));
   Flush();
@@ -78,8 +95,14 @@ std::vector<EventLog::Entry> EventLog::Replay() {
   wire::Reader hr(*head);
   const std::uint64_t durable_gen = hr.U64();
   if (!hr.ok() || !hr.AtEnd() || durable_gen == 0) {
-    // Torn head write: no trustworthy generation pointer, replay nothing.
+    // Torn head write: no trustworthy generation pointer, replay nothing —
+    // and erase every surviving segment NOW. The generation counter restarts
+    // at 0, so a later BeginGeneration reuses numbers; any stale segment
+    // left behind would carry a valid CRC and could splice old-view records
+    // (whose per-view timestamps restart at 1) after a fresh checkpoint on
+    // the next crash, inventing state the recovery path would trust.
     ++stats_.entries_rejected;
+    store_.EraseByPrefix(prefix_ + "/");
     gen_ = 0;
     next_seq_ = 1;
     return out;

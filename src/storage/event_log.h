@@ -91,6 +91,9 @@ class EventLog {
   // the anchor supersedes them. Issues head then segment 1; FIFO completion
   // means replay never sees a generation without its anchor... unless the
   // crash tore it, in which case the generation replays empty (safe).
+  // Once the new head is durable the superseded generation's segments are
+  // erased: replay only ever reads the head generation, and stale segments
+  // must not survive to alias a reused generation number (see Replay).
   void BeginGeneration(Entry anchor);
 
   // Crash hook: the in-memory batch is gone. The caller is responsible for
@@ -102,7 +105,10 @@ class EventLog {
   // at the first missing segment, truncated frame, or CRC mismatch — the
   // rest of the log is rejected wholesale. Also re-syncs the in-memory
   // generation counter to the durable head so a later BeginGeneration
-  // cannot collide with surviving segments.
+  // cannot collide with surviving segments. A garbled head (torn write)
+  // additionally erases every surviving segment: the generation counter
+  // restarts from 0 in that case, and reused generation numbers must never
+  // find valid-CRC segments from a previous life.
   std::vector<Entry> Replay();
 
   // Diskless recovery: wipes every durable key of this log.
@@ -123,8 +129,11 @@ class EventLog {
  private:
   void ArmFlushTimer();
   std::string HeadKey() const { return prefix_ + "/head"; }
+  std::string GenPrefix(std::uint64_t gen) const {
+    return prefix_ + "/" + std::to_string(gen) + "/";
+  }
   std::string SegKey(std::uint64_t gen, std::uint64_t seq) const {
-    return prefix_ + "/" + std::to_string(gen) + "/" + std::to_string(seq);
+    return GenPrefix(gen) + std::to_string(seq);
   }
 
   sim::Simulation& sim_;

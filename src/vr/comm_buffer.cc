@@ -134,20 +134,34 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   }
   ++stats_.acks_received;
   BackupState& st = it->second;
+  bool rejoin_serviced = false;
   if (ack.rejoin) {
-    // A log-recovered backup resumed at its replayed ts; anything it acked
-    // beyond that before the crash is gone from its memory. Rewind both
-    // cursors (even backwards — pre-crash acks are void) and resync the
-    // codec; the tail restreams below, or a snapshot is served once the
-    // rewound ack sits under the GC floor.
-    ++stats_.rejoins;
-    st.acked = ack.ts;
-    st.sent = ack.ts;
-    st.encoder.ForceReset();
-    st.state_transfer = false;
-    st.deadline = 0;
-    st.gap_resent_hi = 0;
-    st.gap_deadline = 0;
+    if (ack.rejoin_epoch != 0 && ack.rejoin_epoch <= st.rejoin_epoch) {
+      // Rejoin acks are retransmitted until the first batch arrives, so a
+      // delayed or reordered duplicate of an epoch already serviced can
+      // land after the backup has progressed past its replayed ts. Rewinding
+      // again would void real progress and restream the tail redundantly —
+      // service each recovery episode exactly once.
+      ++stats_.rejoins_ignored;
+    } else {
+      // A log-recovered backup resumed at its replayed ts; anything it acked
+      // beyond that before the crash is gone from its memory. Rewind both
+      // cursors (even backwards — pre-crash acks are void) and resync the
+      // codec; the tail restreams below, or a snapshot is served once the
+      // rewound ack sits under the GC floor.
+      ++stats_.rejoins;
+      // max, not assignment: an epoch-0 (unspecified) rejoin is always
+      // honored but must not lower the dedup floor for tagged episodes.
+      st.rejoin_epoch = std::max(st.rejoin_epoch, ack.rejoin_epoch);
+      st.acked = ack.ts;
+      st.sent = ack.ts;
+      st.encoder.ForceReset();
+      st.state_transfer = false;
+      st.deadline = 0;
+      st.gap_resent_hi = 0;
+      st.gap_deadline = 0;
+      rejoin_serviced = true;
+    }
   }
   const bool was_stalled = st.sent >= st.acked + options_.window;
   const bool progress = ack.ts > st.acked;
@@ -214,7 +228,8 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
 
   // A rejoining backup gets its tail immediately; SendTo routes it through
   // snapshot state transfer if the rewound ack fell below the GC floor.
-  if (ack.rejoin) SendTo(ack.from);
+  // (Ignored duplicate rejoins get nothing — their episode was serviced.)
+  if (rejoin_serviced) SendTo(ack.from);
 
   ArmRetransmitTimer();
   CollectGarbage();

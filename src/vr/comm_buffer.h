@@ -175,6 +175,9 @@ class CommBuffer {
     // Log-recovered rejoin acks honored: the backup's cursors were rewound
     // to its replayed ts and the tail restreamed (or snapshot-served).
     std::uint64_t rejoins = 0;
+    // Duplicate rejoin acks dropped: their recovery epoch was already
+    // serviced, so rewinding again would only thrash the stream.
+    std::uint64_t rejoins_ignored = 0;
     // Acks accepted from backups of this view. With backup-side ack
     // coalescing on, this (and the kBufferAck frame count) drops while the
     // replication watermark still advances.
@@ -209,6 +212,9 @@ class CommBuffer {
     // record sends, gap fills, or retransmissions until its ack re-enters
     // the resident range.
     bool state_transfer = false;
+    // Highest rejoin epoch serviced for this backup (0 = none): duplicates
+    // at or below it are retransmissions of an episode already handled.
+    std::uint64_t rejoin_epoch = 0;
     // Stateful wire compressor for this connection (kDict mode). Fresh per
     // view; rewinds to the ack checkpoint on retransmission, resets when
     // the backup reports its decoder cannot continue the stream.

@@ -235,6 +235,13 @@ struct BufferAckMsg {
   // backup's cursors to ts (pre-crash acks beyond it are void — the backup
   // lost them) and restream or snapshot the tail.
   bool rejoin = false;
+  // Identifies the recovery episode a rejoin belongs to (monotonically
+  // increasing per backup; 0 = unspecified, always honored). Rejoin acks are
+  // retransmitted until the first batch arrives, so the primary services
+  // each episode exactly once: a delayed or reordered duplicate of an
+  // already-serviced epoch must not rewind cursors the backup has since
+  // advanced past (it would trigger a redundant restream).
+  std::uint64_t rejoin_epoch = 0;
 
   void Encode(wire::Writer& w) const {
     w.U64(group);
@@ -245,6 +252,7 @@ struct BufferAckMsg {
     w.U64(gap_hi);
     w.Bool(codec_reset);
     w.Bool(rejoin);
+    w.U64(rejoin_epoch);
   }
   static BufferAckMsg Decode(wire::Reader& r) {
     BufferAckMsg m;
@@ -256,6 +264,7 @@ struct BufferAckMsg {
     m.gap_hi = r.U64();
     m.codec_reset = r.Bool();
     m.rejoin = r.Bool();
+    m.rejoin_epoch = r.U64();
     if (m.gap && m.gap_hi <= m.ts) r.MarkBad();
     return m;
   }

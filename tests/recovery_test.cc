@@ -201,6 +201,74 @@ TEST_F(EventLogTest, NewGenerationSupersedesTheOld) {
   EXPECT_EQ(entries[1].payload, std::vector<std::uint8_t>{9});
 }
 
+TEST_F(EventLogTest, BeginGenerationErasesSupersededSegments) {
+  // Once the new head pointer is durable, replay can never read the old
+  // generation again; its segments must be erased rather than leak one
+  // generation per checkpoint for the rest of the run.
+  auto log = MakeLog();
+  log->BeginGeneration(E(1, {0x01}));
+  log->Append(2, {1});
+  Settle();
+  ASSERT_TRUE(store_.Contains("elog/7/1/1"));
+  ASSERT_TRUE(store_.Contains("elog/7/1/2"));
+
+  log->BeginGeneration(E(1, {0x02}));
+  // The head write is still in flight: generation 1 must stay intact (a
+  // crash right now would have to replay it).
+  EXPECT_TRUE(store_.Contains("elog/7/1/1"));
+  Settle();
+  EXPECT_FALSE(store_.Contains("elog/7/1/1"));
+  EXPECT_FALSE(store_.Contains("elog/7/1/2"));
+  auto entries = log->Replay();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].payload, std::vector<std::uint8_t>{0x02});
+}
+
+TEST_F(EventLogTest, CrashBeforeNewHeadDurableKeepsOldGenerationIntact) {
+  // The superseded generation is erased only on the new head's durability
+  // callback: a crash while that write is in flight drops the callback and
+  // the old generation — still named by the durable head — replays fully.
+  auto log = MakeLog();
+  log->BeginGeneration(E(1, {0x01}));
+  log->Append(2, {1});
+  Settle();
+
+  log->BeginGeneration(E(1, {0x02}));  // head + anchor forces in flight
+  log->Crash();
+  store_.DropPending(7);
+  Settle();
+
+  EXPECT_TRUE(store_.Contains("elog/7/1/1"));
+  auto entries = log->Replay();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].payload, std::vector<std::uint8_t>{0x01});
+  EXPECT_EQ(entries[1].payload, std::vector<std::uint8_t>{1});
+}
+
+TEST_F(EventLogTest, TornHeadErasesStaleSegmentsSoGenerationReuseIsSafe) {
+  // A garbled head resets the generation counter to 0, so generation
+  // numbers get reused. Any segment surviving from the previous life
+  // carries a valid CRC and would splice stale records contiguously after
+  // the fresh anchor on the NEXT replay — inventing state. The garbled-head
+  // path must therefore erase the namespace wholesale.
+  auto log = MakeLog();
+  log->BeginGeneration(E(1, {0xaa}));
+  log->Append(2, {0x11});
+  Settle();  // gen 1: anchor (seq 1) + append (seq 2) durable
+
+  store_.Poke("elog/7/head", {0x01});  // torn head write
+  EXPECT_TRUE(log->Replay().empty());
+  EXPECT_FALSE(store_.Contains("elog/7/1/2"));  // stale segments gone
+
+  // Recovery re-checkpoints; generation numbering restarts at 1. The old
+  // life's seq-2 segment must not resurface behind the new anchor.
+  log->BeginGeneration(E(1, {0xbb}));
+  Settle();
+  auto entries = log->Replay();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].payload, std::vector<std::uint8_t>{0xbb});
+}
+
 TEST_F(EventLogTest, BatchThresholdFlushesEarly) {
   EventLogOptions o = LogOptions();
   o.max_batch = 4;

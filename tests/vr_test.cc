@@ -333,6 +333,51 @@ TEST_F(CommBufferTest, DuplicateAckIsIdempotent) {
   EXPECT_EQ(buffer_.stats().acks_rejected, 0u);
 }
 
+TEST_F(CommBufferTest, DuplicateRejoinAckForServicedEpochIsIgnored) {
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  buffer_.Add(Rec());
+  // Recovery episode 100: backup 2 rejoins at ts 1; the primary rewinds its
+  // cursors and restreams the tail.
+  BufferAckMsg rejoin;
+  rejoin.group = 1;
+  rejoin.viewid = viewid_;
+  rejoin.from = 2;
+  rejoin.ts = 1;
+  rejoin.rejoin = true;
+  rejoin.rejoin_epoch = 100;
+  buffer_.OnAck(rejoin);
+  EXPECT_EQ(buffer_.stats().rejoins, 1u);
+  EXPECT_EQ(buffer_.AckedTs(2), 1u);
+  // The backup catches up past the rewound point...
+  Ack(2, 3);
+  const std::uint64_t sent_before = buffer_.stats().records_sent;
+  // ...then a delayed retransmission of the SAME episode lands. It must not
+  // rewind the cursors or restream anything — the episode was serviced.
+  buffer_.OnAck(rejoin);
+  EXPECT_EQ(buffer_.stats().rejoins_ignored, 1u);
+  EXPECT_EQ(buffer_.AckedTs(2), 3u);
+  EXPECT_EQ(buffer_.stats().records_sent, sent_before);
+  // A later epoch is a new recovery episode: the backup really crashed
+  // again, so the rewind (even further back) is honored.
+  rejoin.rejoin_epoch = 200;
+  rejoin.ts = 0;
+  buffer_.OnAck(rejoin);
+  EXPECT_EQ(buffer_.stats().rejoins, 2u);
+  EXPECT_EQ(buffer_.AckedTs(2), 0u);
+  // Epoch 0 (unspecified) is always honored but never lowers the floor:
+  // the tagged episode 100 stays ignored afterwards.
+  Ack(2, 3);
+  rejoin.rejoin_epoch = 0;
+  rejoin.ts = 2;
+  buffer_.OnAck(rejoin);
+  EXPECT_EQ(buffer_.stats().rejoins, 3u);
+  EXPECT_EQ(buffer_.AckedTs(2), 2u);
+  rejoin.rejoin_epoch = 100;
+  buffer_.OnAck(rejoin);
+  EXPECT_EQ(buffer_.stats().rejoins_ignored, 2u);
+}
+
 TEST_F(CommBufferTest, RejectsForeignAndCorruptAcks) {
   buffer_.Add(Rec());
   BufferAckMsg a;

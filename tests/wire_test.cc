@@ -328,10 +328,13 @@ TEST(Messages, BufferAckRejoinRoundTrip) {
   a.from = 2;
   a.ts = 41;
   a.rejoin = true;
+  a.rejoin_epoch = 9001;
   auto out = RoundTrip(a);
   EXPECT_TRUE(out.rejoin);
   EXPECT_EQ(out.ts, 41u);
+  EXPECT_EQ(out.rejoin_epoch, 9001u);
   a.rejoin = false;
+  a.rejoin_epoch = 0;
   EXPECT_FALSE(RoundTrip(a).rejoin);
 }
 
