@@ -60,7 +60,7 @@ if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   # The comm-buffer / replication-path suites, where the windowed protocol
   # does pointer arithmetic over the GC'd record vector.
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test'
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test|sharding_test'
 fi
 
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
@@ -81,6 +81,16 @@ for b in build/bench/*; do
     CHECK_BENCH_SMOKE=1 "$b" "${extra[@]}" > /dev/null && echo "--- $(basename "$b") OK"
   else
     "$b"
+  fi
+done
+# Every E* bench must have emitted its machine-readable BENCH_<ID>.json
+# (bench_common.h JsonSink) in the working directory it ran from.
+for b in build/bench/bench_e*; do
+  [[ -f "$b" && -x "$b" ]] || continue
+  id="$(basename "$b" | sed -E 's/^bench_(e[0-9]+).*/\U\1/')"
+  if [[ ! -s "BENCH_${id}.json" ]]; then
+    echo "FAIL: $(basename "$b") did not write BENCH_${id}.json" >&2
+    exit 1
   fi
 done
 

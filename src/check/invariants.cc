@@ -92,4 +92,76 @@ std::vector<std::string> CheckQuiescent(client::Cluster& cluster,
   return violations;
 }
 
+std::vector<std::string> CheckPlacement(const core::Directory& dir) {
+  std::vector<std::string> violations;
+  const auto& ranges = dir.ranges();
+  if (ranges.empty()) {
+    violations.push_back("placement: no ranges assigned");
+    return violations;
+  }
+  if (!ranges.front().lo.empty()) {
+    violations.push_back("placement: first range starts at \"" +
+                         ranges.front().lo + "\", not \"\"");
+  }
+  if (!ranges.back().hi.empty()) {
+    violations.push_back("placement: last range ends at \"" +
+                         ranges.back().hi + "\", not +inf");
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const core::ShardRange& r = ranges[i];
+    const std::string where = "[" + r.lo + ", " + r.hi + ")";
+    if (i > 0 && ranges[i - 1].hi != r.lo) {
+      violations.push_back("placement: gap/overlap between [" +
+                           ranges[i - 1].lo + ", " + ranges[i - 1].hi +
+                           ") and " + where);
+    }
+    if (dir.Lookup(r.owner) == nullptr) {
+      violations.push_back("placement: " + where + " owned by unknown group " +
+                           std::to_string(r.owner));
+    }
+    const bool moving = r.state != core::ShardState::kSettled;
+    if (moving && dir.Lookup(r.moving_to) == nullptr) {
+      violations.push_back("placement: " + where +
+                           " moving to unknown group " +
+                           std::to_string(r.moving_to));
+    }
+    if (moving && r.moving_to == r.owner) {
+      violations.push_back("placement: " + where + " moving to its owner");
+    }
+    if (!moving && r.moving_to != 0) {
+      violations.push_back("placement: settled " + where +
+                           " has moving_to set");
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> CheckConservation(
+    client::Cluster& cluster, const std::vector<std::string>& accounts,
+    long long expected_total) {
+  std::vector<std::string> violations;
+  long long total = 0;
+  for (const std::string& acct : accounts) {
+    const core::ShardRange* r = cluster.directory().Route(acct);
+    if (r == nullptr) {
+      violations.push_back("conservation: account " + acct + " unplaced");
+      return violations;
+    }
+    core::Cohort* primary = cluster.AnyPrimary(r->owner);
+    if (primary == nullptr) {
+      violations.push_back("conservation: group " + std::to_string(r->owner) +
+                           " (owner of " + acct + ") has no primary");
+      return violations;
+    }
+    auto v = primary->objects().ReadCommitted(acct);
+    if (v && !v->empty()) total += std::stoll(*v);
+  }
+  if (total != expected_total) {
+    violations.push_back("conservation: cluster-wide total " +
+                         std::to_string(total) + " != expected " +
+                         std::to_string(expected_total));
+  }
+  return violations;
+}
+
 }  // namespace vsr::check

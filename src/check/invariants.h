@@ -73,4 +73,18 @@ std::vector<std::string> CheckInstant(client::Cluster& cluster,
 std::vector<std::string> CheckQuiescent(client::Cluster& cluster,
                                         vr::GroupId group);
 
+// Sharded-deployment invariants over the placement directory (DESIGN.md
+// §11): ranges tile the key space (first lo == "", contiguous, last hi ==
+// ""), every owner / move target is a registered group, and move state is
+// internally consistent (moving_to set iff mid-move, and never the owner).
+std::vector<std::string> CheckPlacement(const core::Directory& dir);
+
+// Cross-group conservation: sums each listed account's committed balance at
+// its directory-owner's primary and compares to `expected_total`. Valid once
+// the shard groups are quiescent. Appends violations (unreadable accounts
+// count as violations — an unreachable primary makes the audit impossible).
+std::vector<std::string> CheckConservation(
+    client::Cluster& cluster, const std::vector<std::string>& accounts,
+    long long expected_total);
+
 }  // namespace vsr::check

@@ -120,4 +120,23 @@ std::uint64_t Cluster::TotalAborted(GroupId g) {
   return n;
 }
 
+std::uint64_t Cluster::TotalCommittedAll() {
+  std::uint64_t n = 0;
+  for (auto& [g, cohorts] : groups_) n += TotalCommitted(g);
+  return n;
+}
+
+std::uint64_t Cluster::TotalAbortedAll() {
+  std::uint64_t n = 0;
+  for (auto& [g, cohorts] : groups_) n += TotalAborted(g);
+  return n;
+}
+
+std::vector<GroupId> Cluster::AllGroups() const {
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [g, cohorts] : groups_) out.push_back(g);
+  return out;
+}
+
 }  // namespace vsr::client

@@ -96,6 +96,15 @@ class Cluster {
   std::uint64_t TotalCommitted(GroupId g);
   std::uint64_t TotalAborted(GroupId g);
 
+  // Cluster-wide aggregates over every group ever added — a sharded
+  // deployment coordinates transactions from several groups, so per-group
+  // totals undercount.
+  std::uint64_t TotalCommittedAll();
+  std::uint64_t TotalAbortedAll();
+
+  // All groups, in creation order.
+  std::vector<GroupId> AllGroups() const;
+
  private:
   ClusterOptions options_;
   sim::Simulation sim_;

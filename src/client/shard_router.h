@@ -1,0 +1,72 @@
+// Client-side shard routing (DESIGN.md §11.2).
+//
+// A ShardRouter holds a cached copy of the directory's placement table —
+// {epoch, ranges} — and maps object keys to the group that should execute
+// calls touching them. The cache is exactly the paper's primary-cache idiom
+// one level up: use the cached answer optimistically, and when a server
+// rejects a call with a wrong-shard error (the ownership check in the
+// workload's procs), Refresh() against the directory and retry.
+//
+// During a live rebalance the authoritative table changes epoch at every
+// phase transition; a router only observes those epochs when a rejection
+// forces a refresh, which is what keeps routing cheap in steady state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/directory.h"
+#include "vr/types.h"
+
+namespace vsr::client {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const core::Directory& directory)
+      : directory_(directory) {
+    Refresh();
+  }
+
+  // The group a call touching `key` should be sent to. During a migration
+  // the OLD owner keeps serving (state kMigrating); in the handoff window
+  // the old owner rejects, so route to the new owner — its first serve
+  // happens at CommitMove, and calls racing the flip simply retry.
+  vr::GroupId Route(const std::string& key) const {
+    for (const core::ShardRange& r : ranges_) {
+      if (!r.Contains(key)) continue;
+      if (r.state == core::ShardState::kHandoff) return r.moving_to;
+      return r.owner;
+    }
+    return 0;  // no placement covers the key
+  }
+
+  // Re-reads the authoritative table. Returns true if the epoch advanced
+  // (i.e. the cached copy was actually stale).
+  bool Refresh() {
+    const std::uint64_t e = directory_.placement_epoch();
+    if (e == epoch_ && !ranges_.empty()) return false;
+    const bool advanced = e != epoch_;
+    epoch_ = e;
+    ranges_ = directory_.ranges();
+    return advanced;
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+  const std::vector<core::ShardRange>& ranges() const { return ranges_; }
+
+  std::uint64_t refreshes() const { return refreshes_; }
+
+  // Refresh() + bookkeeping, for the workload retry path.
+  void NoteWrongShard() {
+    ++refreshes_;
+    Refresh();
+  }
+
+ private:
+  const core::Directory& directory_;
+  std::uint64_t epoch_ = 0;
+  std::vector<core::ShardRange> ranges_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace vsr::client

@@ -105,6 +105,7 @@ void Cohort::ResetVolatileState() {
   buffer_.Stop();
   snap_server_.Stop();
   ClearSnapshotSink();
+  ResetShardPull(false);
   tasks_.DestroyAll();
   store_.Clear();
   outcomes_.Clear();
@@ -325,14 +326,15 @@ void Cohort::OnFrame(const net::Frame& frame) {
   // Intra-group protocol messages (view change, buffer replication) are
   // only meaningful from the group's own cohorts; the configuration is
   // fixed at creation (§2), so anything else is a stray or malformed frame.
+  // Snapshot chunks/acks are NOT on this list: the §9 machinery doubles as
+  // the shard bulk-move primitive (DESIGN.md §11), whose transfers cross
+  // group boundaries — they are gated per-case below instead.
   switch (static_cast<vr::MsgType>(frame.type)) {
     case vr::MsgType::kInvite:
     case vr::MsgType::kAccept:
     case vr::MsgType::kInitView:
     case vr::MsgType::kBufferBatch:
     case vr::MsgType::kBufferAck:
-    case vr::MsgType::kSnapshotChunk:
-    case vr::MsgType::kSnapshotAck:
       if (!from_peer) return;
       break;
     default:
@@ -371,11 +373,22 @@ void Cohort::OnFrame(const net::Frame& frame) {
     }
     case vr::MsgType::kSnapshotChunk: {
       auto m = vr::SnapshotChunkMsg::Decode(r);
-      if (r.ok() && m.group == group_) OnSnapshotChunk(m);
+      if (!r.ok()) break;
+      if (m.group == group_) {
+        // Intra-group catch-up transfer: only our own primary streams these.
+        if (from_peer) OnSnapshotChunk(m);
+      } else {
+        // Chunks of a cross-group shard pull, stamped with the SOURCE
+        // group's id; OnShardChunk validates them against the active pull.
+        OnShardChunk(m);
+      }
       break;
     }
     case vr::MsgType::kSnapshotAck: {
       auto m = vr::SnapshotAckMsg::Decode(r);
+      // Acks for shard transfers come from the pulling group's primary —
+      // not a peer — carrying our group id copied from the chunks; the
+      // server validates viewid/vs/offset per registered transfer.
       if (r.ok() && m.group == group_ && IsActivePrimary()) OnSnapshotAck(m);
       break;
     }
@@ -469,6 +482,11 @@ void Cohort::OnFrame(const net::Frame& frame) {
     case vr::MsgType::kAbortReq: {
       auto m = vr::AbortReqMsg::Decode(r);
       if (r.ok() && m.group == group_) OnAbortReq(m);
+      break;
+    }
+    case vr::MsgType::kShardPull: {
+      auto m = vr::ShardPullMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnShardPull(m);
       break;
     }
   }

@@ -126,6 +126,11 @@ class ProcContext {
   // the engine after the procedure returns).
   const Pset& pset() const { return pset_; }
 
+  // The group this procedure executes at — lets sharded procs check the
+  // placement directory ("am I still the owner of this key?") before
+  // serving. Defined out of line (Cohort is incomplete here).
+  GroupId group() const;
+
  private:
   friend class Cohort;
   Cohort& cohort_;
@@ -238,6 +243,13 @@ struct CohortStats {
   // latency measurements (bench E4).
   sim::Time last_view_change_started = 0;
   sim::Time last_view_change_completed = 0;
+  // Shard rebalancing (DESIGN.md §11): pull requests served as source
+  // primary, images installed (as primary or replicated to backups), and
+  // ranges garbage-collected after a committed move.
+  std::uint64_t shard_pulls_served = 0;
+  std::uint64_t shard_pulls_completed = 0;
+  std::uint64_t shard_images_installed = 0;
+  std::uint64_t shard_ranges_dropped = 0;
 };
 
 class Cohort : public net::FrameHandler {
@@ -323,6 +335,30 @@ class Cohort : public net::FrameHandler {
   const storage::EventLog& event_log() const { return elog_; }
   const CohortOptions& options() const { return options_; }
   CohortOptions& mutable_options() { return options_; }
+
+  // -- Shard rebalancing (shard.cc, DESIGN.md §11) -----------------------
+
+  // Pulls the committed image of [lo, hi) from `from_group`'s primary and
+  // installs it here. Must be the active primary of this group; `done(ok)`
+  // fires once the kShardInstall record is forced to a sub-majority of
+  // backups (ok=false if this cohort lost the primary role or the pull was
+  // superseded). Idempotent: re-pulling the same range overwrites the same
+  // base versions — the rebalancer's settle pass relies on this.
+  void PullShard(GroupId from_group, std::string lo, std::string hi,
+                 std::function<void(bool)> done);
+
+  // Old-owner garbage collection after CommitMove: replicates a kShardDrop
+  // record and erases the committed objects in [lo, hi).
+  void DropShard(std::string lo, std::string hi);
+
+  bool shard_pull_active() const { return shard_pull_ != nullptr; }
+
+  // Drain probe for the rebalance handoff window: true iff no in-flight
+  // transaction still touches [lo, hi) here.
+  bool ShardRangeQuiescent(const std::string& lo,
+                           const std::string& hi) const {
+    return store_.RangeQuiescent(lo, hi);
+  }
 
   // Hooks for tests / harnesses.
   std::function<void(const View&, ViewId)> on_view_started;
@@ -412,6 +448,21 @@ class Cohort : public net::FrameHandler {
   void ClearSnapshotSink();
   void AbandonSnapshotInstall();
 
+  // ---- shard rebalancing (shard.cc, DESIGN.md §11) ----
+  // Source side: a foreign primary asked for a range image.
+  void OnShardPull(const vr::ShardPullMsg& m);
+  // Puller side: chunks of a cross-group transfer (m.group != group_).
+  void OnShardChunk(const vr::SnapshotChunkMsg& m);
+  // Assembled payload verified: install + replicate + force, then done(ok).
+  sim::Task<void> FinishShardInstall(std::uint64_t pull_id,
+                                     std::vector<std::uint8_t> payload);
+  // (Re)sends the pull request to the source group's current primary.
+  sim::Task<void> SendShardPull();
+  // Applies a kShardInstall / kShardDrop record to the store (backup path
+  // and lazy-apply promotion share it with the primary).
+  void ApplyShardRecord(const vr::EventRecord& rec);
+  void ResetShardPull(bool ok);
+
   // ---- server role (txn_server.cc) ----
   void OnCall(const vr::CallMsg& m);
   sim::Task<void> RunCall(vr::CallMsg m);
@@ -485,6 +536,9 @@ class Cohort : public net::FrameHandler {
   Directory& directory_;
   storage::StableStore& stable_;
   CohortOptions options_;
+  // When options_.call_service_time > 0: the time this cohort's serial CPU
+  // becomes free again (calls queue behind it, see RunCall).
+  sim::Time cpu_free_ = 0;
 
   // ---- identity (stable, §4.2) ----
   const GroupId group_;
@@ -566,6 +620,22 @@ class Cohort : public net::FrameHandler {
   // crashed-equivalent forever — that would wedge view formation for good
   // when the serving primary itself is the cohort that crashed.
   sim::TimerId snap_abandon_timer_ = sim::kNoTimer;
+
+  // ---- shard rebalancing (shard.cc, DESIGN.md §11) ----
+  // One outstanding cross-group pull at a time (the rebalancer moves one
+  // range at a time). The sink assembles chunks exactly like a snapshot
+  // transfer, but the payload is a range image, not a whole gstate.
+  struct ShardPull {
+    std::uint64_t id = 0;  // guards stale timer/coroutine completions
+    GroupId from_group = 0;
+    std::string lo;
+    std::string hi;
+    std::function<void(bool)> done;
+    vr::SnapshotSink sink;
+    sim::TimerId retry_timer = sim::kNoTimer;
+  };
+  std::unique_ptr<ShardPull> shard_pull_;
+  std::uint64_t next_shard_pull_id_ = 1;
 
   // ---- failure detection ----
   std::map<Mid, sim::Time> last_heard_;

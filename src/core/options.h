@@ -40,7 +40,20 @@ struct CohortOptions {
   // Recover() replays them to rejoin with state (view_formation.h cond. 4).
   storage::EventLogOptions event_log;
 
+  // ---- Shard rebalancing (DESIGN.md §11) ----
+  // An unfinished cross-group shard pull re-resolves the source group's
+  // primary and re-sends the pull request after this long (source primary
+  // crashed or stood down mid-transfer).
+  sim::Duration shard_pull_retry = 250 * sim::kMillisecond;
+
   // ---- Transactions ----
+  // CPU cost of executing one procedure call at the primary, modeled as a
+  // single serial resource per cohort (0 = calls are free, the default: the
+  // simulator then charges only network and storage latency). Benches that
+  // measure capacity — e.g. E13's throughput-vs-shard-count sweep — turn
+  // this on; with it off a single group can absorb unbounded load and
+  // sharding has nothing to show.
+  sim::Duration call_service_time = 0;
   sim::Duration lock_wait_timeout = 150 * sim::kMillisecond;
   sim::Duration call_timeout = 60 * sim::kMillisecond;  // per attempt
   int call_attempts = 3;                                // probes before "no reply"

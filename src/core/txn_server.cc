@@ -208,6 +208,14 @@ void Cohort::ApplyRecord(const vr::EventRecord& rec) {
       // queried again.
       outcomes_.RecordDone(rec.sub_aid.aid);
       break;
+    case vr::EventType::kShardInstall:
+    case vr::EventType::kShardDrop:
+      if (eager) {
+        ApplyShardRecord(rec);
+      } else {
+        pending_records_.push_back(rec);
+      }
+      break;
     case vr::EventType::kNewView:
       break;  // handled in OnBufferBatch adoption paths
   }
@@ -653,6 +661,21 @@ sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
     ++stats_.dead_sub_calls_refused;
     call_dedup_.erase(m.call_seq);
     co_return;
+  }
+
+  // Occupy this cohort's serial CPU for the call's service time (0 = free).
+  // This is what gives a group finite capacity: calls beyond 1/service_time
+  // per second queue here, and only adding groups adds capacity.
+  if (options_.call_service_time > 0) {
+    const sim::Time now = sim_.Now();
+    const sim::Time start = std::max(now, cpu_free_);
+    cpu_free_ = start + options_.call_service_time;
+    co_await sim::Sleep(sim_.scheduler(), cpu_free_ - now);
+    // Re-check admission: the view may have moved while queued.
+    if (status_ != Status::kActive || cur_viewid_ != call_view ||
+        cur_view_.primary != self_) {
+      co_return;
+    }
   }
 
   // "Create an empty pset. Then run the call."

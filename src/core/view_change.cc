@@ -237,6 +237,9 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
   snap_server_.Stop();
   ClearSnapshotSink();  // a promoted cohort was not mid-install (it accepted
                         // normally), but a stray transfer may linger
+  // A cross-group shard pull does not survive the view transition: the new
+  // view's buffer is a different stream, so the rebalancer must re-issue.
+  ResetShardPull(false);
   status_ = Status::kUnderling;
   ArmUnderlingTimer();  // safety net if the stable write never completes
 
@@ -256,6 +259,10 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
           break;
         case vr::EventType::kAbortedSub:
           store_.AbortSub(rec.sub_aid);
+          break;
+        case vr::EventType::kShardInstall:
+        case vr::EventType::kShardDrop:
+          ApplyShardRecord(rec);
           break;
         default:
           break;
@@ -327,6 +334,7 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   batch_stash_.clear();
   // The newview gstate supersedes any snapshot that was mid-transfer.
   ClearSnapshotSink();
+  ResetShardPull(false);  // a backup cannot be mid-pull; clear stragglers
   applied_ts_ = newview_ts;
 
   // Adopting the newview record re-validates our state; the log restarts

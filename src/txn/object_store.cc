@@ -359,4 +359,68 @@ void ObjectStore::Restore(wire::Reader& r) {
   }
 }
 
+namespace {
+bool InRange(const std::string& uid, const std::string& lo,
+             const std::string& hi) {
+  return lo <= uid && (hi.empty() || uid < hi);
+}
+}  // namespace
+
+void ObjectStore::SnapshotRange(wire::Writer& w, const std::string& lo,
+                                const std::string& hi) const {
+  std::uint32_t count = 0;
+  auto end = hi.empty() ? objects_.end() : objects_.lower_bound(hi);
+  for (auto it = objects_.lower_bound(lo); it != end; ++it) {
+    if (it->second.base) ++count;
+  }
+  w.U32(count);
+  for (auto it = objects_.lower_bound(lo); it != end; ++it) {
+    if (!it->second.base) continue;
+    w.String(it->first);
+    w.String(*it->second.base);
+  }
+}
+
+void ObjectStore::InstallRange(wire::Reader& r) {
+  const std::uint32_t n = r.U32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string uid = r.String();
+    std::string value = r.String();
+    if (!r.ok()) return;
+    objects_[std::move(uid)].base = std::move(value);
+  }
+}
+
+std::size_t ObjectStore::DropRange(const std::string& lo,
+                                   const std::string& hi) {
+  std::size_t dropped = 0;
+  auto it = objects_.lower_bound(lo);
+  while (it != objects_.end() && InRange(it->first, lo, hi)) {
+    const Object& obj = it->second;
+    if (obj.holders.empty() && obj.tentatives.empty() &&
+        waiters_.find(it->first) == waiters_.end()) {
+      it = objects_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+bool ObjectStore::RangeQuiescent(const std::string& lo,
+                                 const std::string& hi) const {
+  auto end = hi.empty() ? objects_.end() : objects_.lower_bound(hi);
+  for (auto it = objects_.lower_bound(lo); it != end; ++it) {
+    if (!it->second.holders.empty() || !it->second.tentatives.empty()) {
+      return false;
+    }
+  }
+  auto wend = hi.empty() ? waiters_.end() : waiters_.lower_bound(hi);
+  for (auto it = waiters_.lower_bound(lo); it != wend; ++it) {
+    if (!it->second.empty()) return false;
+  }
+  return true;
+}
+
 }  // namespace vsr::txn

@@ -116,6 +116,31 @@ class ObjectStore {
   void Snapshot(wire::Writer& w) const;
   void Restore(wire::Reader& r);
 
+  // -- Shard range operations (DESIGN.md §11) ------------------------------
+  //
+  // A shard image covers only the COMMITTED base versions of a key range
+  // [lo, hi) (hi == "" means +infinity). Locks, waiters, and tentative
+  // versions never move between groups: the rebalance handoff drains them at
+  // the old owner instead (RangeQuiescent is the drain test).
+
+  // Writes the committed base versions in [lo, hi): U32 count, then per
+  // object its uid and value.
+  void SnapshotRange(wire::Writer& w, const std::string& lo,
+                     const std::string& hi) const;
+
+  // Installs a shard image produced by SnapshotRange, overwriting base
+  // versions. Idempotent: re-installing the same image is a no-op, and a
+  // later image of the same range simply rewrites the bases.
+  void InstallRange(wire::Reader& r);
+
+  // Erases every object in [lo, hi) that carries no locks, tentatives, or
+  // waiters; returns how many were dropped.
+  std::size_t DropRange(const std::string& lo, const std::string& hi);
+
+  // True iff no object in [lo, hi) has lock holders, tentative versions, or
+  // queued waiters — i.e. no in-flight transaction still touches the range.
+  bool RangeQuiescent(const std::string& lo, const std::string& hi) const;
+
   // -- Introspection -----------------------------------------------------
 
   std::size_t object_count() const { return objects_.size(); }

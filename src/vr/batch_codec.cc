@@ -7,8 +7,12 @@ namespace vsr::vr {
 
 namespace {
 
-// Record tag byte (§8.4.2).
+// Record tag byte (§8.4.2). The 3 type bits cover EventType 0..6 directly;
+// tag value 7 (kTagShard) is an escape for the shard-rebalance records
+// (kShardInstall/kShardDrop), whose actual type is a subtype byte that
+// follows — the tag space was full when they were added.
 constexpr std::uint8_t kTypeMask = 0x07;
+constexpr std::uint8_t kTagShard = 0x07;
 constexpr std::uint8_t kTagHasCall = 0x08;
 constexpr std::uint8_t kTagSameAid = 0x10;
 constexpr std::uint8_t kTagHasEffects = 0x20;
@@ -123,7 +127,11 @@ void BatchEncoder::AdvanceCheckpoint(std::uint64_t acked_ts,
 // performs — against the checkpoint copies, writing no bytes — so the
 // checkpoint tracks what the decoder's state is after consuming the record.
 void BatchEncoder::ReplayMutations(const EventRecord& e) {
-  if (e.type == EventType::kNewView) return;  // encodes without mutating
+  // kNewView and the shard records encode without mutating codec state.
+  if (e.type == EventType::kNewView || e.type == EventType::kShardInstall ||
+      e.type == EventType::kShardDrop) {
+    return;
+  }
   if (!(ckpt_have_last_aid_ && e.sub_aid.aid == ckpt_last_aid_)) {
     ckpt_last_aid_ = e.sub_aid.aid;
     ckpt_have_last_aid_ = true;
@@ -198,6 +206,12 @@ void BatchEncoder::EncodeBody(wire::Writer& w,
 }
 
 void BatchEncoder::EncodeRecord(wire::Writer& w, const EventRecord& e) {
+  if (e.type == EventType::kShardInstall || e.type == EventType::kShardDrop) {
+    w.U8(kTagShard);
+    w.U8(e.type == EventType::kShardInstall ? 0 : 1);
+    PutVarBytes(w, e.gstate);
+    return;
+  }
   std::uint8_t tag = static_cast<std::uint8_t>(e.type) & kTypeMask;
   if (e.type == EventType::kNewView) {
     w.U8(tag);
@@ -397,8 +411,22 @@ EventRecord BatchDecoder::DecodeRecord(wire::Reader& r, std::uint64_t ts) {
   e.ts = ts;
   const std::uint8_t tag = r.U8();
   const std::uint8_t t = tag & kTypeMask;
-  if (t > static_cast<std::uint8_t>(EventType::kNewView) || (tag & 0x80)) {
+  if (tag & 0x80) {
     r.MarkBad();
+    return e;
+  }
+  if (t == kTagShard) {
+    if (tag & (kTagHasCall | kTagSameAid | kTagHasEffects | kTagHasPlist)) {
+      r.MarkBad();
+      return e;
+    }
+    const std::uint8_t sub = r.U8();
+    if (sub > 1) {
+      r.MarkBad();
+      return e;
+    }
+    e.type = sub == 0 ? EventType::kShardInstall : EventType::kShardDrop;
+    e.gstate = GetVarBytes(r);
     return e;
   }
   e.type = static_cast<EventType>(t);

@@ -18,6 +18,10 @@ const char* EventTypeName(EventType t) {
       return "aborted-sub";
     case EventType::kNewView:
       return "newview";
+    case EventType::kShardInstall:
+      return "shard-install";
+    case EventType::kShardDrop:
+      return "shard-drop";
   }
   return "?";
 }

@@ -58,6 +58,12 @@ enum class EventType : std::uint8_t {
   kDone = 4,           // coordinator: all participants acked the commit
   kAbortedSub = 5,     // a subaction (call attempt) was discarded (§3.6)
   kNewView = 6,        // first record of a view: view + history + gstate
+  // Shard rebalancing (DESIGN.md §11): the bulk-copied image of a key range
+  // pulled from another group, installed as committed base versions; and the
+  // old owner's garbage-collection of a range whose move committed. Both
+  // carry their payload in the gstate field (same wire layout as kNewView).
+  kShardInstall = 7,
+  kShardDrop = 8,
 };
 
 const char* EventTypeName(EventType t);
@@ -139,6 +145,21 @@ struct EventRecord {
     e.gstate = std::move(g);
     return e;
   }
+  // `payload` is the shard-image encoding (lo, hi, source group, range
+  // bytes) built by the pulling primary; see Cohort::OnShardChunk.
+  static EventRecord ShardInstall(std::vector<std::uint8_t> payload) {
+    EventRecord e;
+    e.type = EventType::kShardInstall;
+    e.gstate = std::move(payload);
+    return e;
+  }
+  // `payload` encodes just the dropped bounds (lo, hi).
+  static EventRecord ShardDrop(std::vector<std::uint8_t> payload) {
+    EventRecord e;
+    e.type = EventType::kShardDrop;
+    e.gstate = std::move(payload);
+    return e;
+  }
 
   void Encode(wire::Writer& w) const {
     w.U8(static_cast<std::uint8_t>(type));
@@ -156,7 +177,7 @@ struct EventRecord {
   static EventRecord Decode(wire::Reader& r) {
     EventRecord e;
     std::uint8_t t = r.U8();
-    if (t > static_cast<std::uint8_t>(EventType::kNewView)) r.MarkBad();
+    if (t > static_cast<std::uint8_t>(EventType::kShardDrop)) r.MarkBad();
     e.type = static_cast<EventType>(t);
     e.ts = r.U64();
     e.sub_aid = SubAid::Decode(r);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -117,17 +118,16 @@ inline std::optional<Viewstamp> VsMax(const Pset& ps, GroupId g) {
   return best;
 }
 
-// Merges the entries of `from` into `into`, deduplicating.
+// Merges the entries of `from` into `into`, deduplicating. Order-preserving
+// (new entries append in `from` order), but membership is tested against a
+// sorted index instead of a pairwise scan — the coordinator merges a reply
+// pset on every call, so large cross-group psets would otherwise make the
+// hot path O(n·m).
 inline void MergePset(Pset& into, const Pset& from) {
+  if (from.empty()) return;
+  std::set<PsetEntry> seen(into.begin(), into.end());
   for (const PsetEntry& e : from) {
-    bool present = false;
-    for (const PsetEntry& have : into) {
-      if (have == e) {
-        present = true;
-        break;
-      }
-    }
-    if (!present) into.push_back(e);
+    if (seen.insert(e).second) into.push_back(e);
   }
 }
 

@@ -54,6 +54,8 @@ const char* MsgTypeName(MsgType t) {
       return "commit-req-reply";
     case MsgType::kAbortReq:
       return "abort-req";
+    case MsgType::kShardPull:
+      return "shard-pull";
   }
   return "?";
 }

@@ -62,6 +62,8 @@ enum class MsgType : std::uint16_t {
   kCommitReq = 24,
   kCommitReqReply = 25,
   kAbortReq = 26,
+
+  kShardPull = 27,
 };
 
 const char* MsgTypeName(MsgType t);
@@ -828,6 +830,41 @@ struct AbortReqMsg {
     m.group = r.U64();
     m.aid = Aid::Decode(r);
     m.pset = r.Vector<PsetEntry>([&] { return PsetEntry::Decode(r); });
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shard rebalancing (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+// Primary of the pulling group → primary of the range's current owner: asks
+// it to stream a shard image of [lo, hi) back via the §9 snapshot machinery.
+// The chunks arrive as SnapshotChunkMsg carrying the SOURCE group's id and
+// viewid; the puller tells them apart from its own intra-group transfers by
+// that group field.
+struct ShardPullMsg {
+  static constexpr MsgType kType = MsgType::kShardPull;
+  GroupId group = 0;       // destination: the range's current owner
+  Mid from = 0;            // the pulling primary's mid (chunk destination)
+  GroupId from_group = 0;  // the pulling group
+  std::string lo;
+  std::string hi;  // "" = +infinity
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    w.U32(from);
+    w.U64(from_group);
+    w.String(lo);
+    w.String(hi);
+  }
+  static ShardPullMsg Decode(wire::Reader& r) {
+    ShardPullMsg m;
+    m.group = r.U64();
+    m.from = r.U32();
+    m.from_group = r.U64();
+    m.lo = r.String();
+    m.hi = r.String();
     return m;
   }
 };

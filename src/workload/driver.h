@@ -20,6 +20,14 @@ struct DriverOptions {
   // index) up to this many times — how a real application reacts to the
   // paper's abort-on-uncertainty rule.
   int retries_per_txn = 0;
+  // Called once per logical transaction at FINAL resolution (after any
+  // retries): lets harnesses fold exactly-committed work into a model (the
+  // zero-lost/zero-duplicated check in the rebalance drills).
+  std::function<void(std::uint64_t, vr::TxnOutcome)> on_outcome;
+  // When non-empty, transaction i coordinates at group [i % size] instead of
+  // the constructor's client_group — sharded workloads would otherwise
+  // serialize every 2PC at a single coordinator primary.
+  std::vector<vr::GroupId> coordinator_groups;
 };
 
 class ClosedLoopDriver {
@@ -50,10 +58,15 @@ class ClosedLoopDriver {
   int resolved() const { return resolved_; }
 
  private:
+  vr::GroupId CoordinatorFor(std::uint64_t i) const {
+    if (options_.coordinator_groups.empty()) return client_group_;
+    return options_.coordinator_groups[i % options_.coordinator_groups.size()];
+  }
+
   void PumpNew() {
     while (inflight_ < options_.max_inflight &&
            next_ < static_cast<std::uint64_t>(options_.total_txns)) {
-      core::Cohort* primary = cluster_.AnyPrimary(client_group_);
+      core::Cohort* primary = cluster_.AnyPrimary(CoordinatorFor(next_));
       if (primary == nullptr) return;
       Launch(next_++, options_.retries_per_txn, primary);
     }
@@ -66,7 +79,7 @@ class ClosedLoopDriver {
         make_body_(i), [this, i, retries_left, start](vr::TxnOutcome o) {
           --inflight_;
           if (o == vr::TxnOutcome::kAborted && retries_left > 0) {
-            core::Cohort* p = cluster_.AnyPrimary(client_group_);
+            core::Cohort* p = cluster_.AnyPrimary(CoordinatorFor(i));
             if (p != nullptr) {
               Launch(i, retries_left - 1, p);
               return;
@@ -77,6 +90,7 @@ class ClosedLoopDriver {
           if (o == vr::TxnOutcome::kCommitted) {
             latency_.Add(cluster_.sim().Now() - start);
           }
+          if (options_.on_outcome) options_.on_outcome(i, o);
         });
   }
 

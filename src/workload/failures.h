@@ -92,4 +92,38 @@ inline std::vector<FailureEvent> RandomCrashSchedule(
   return out;
 }
 
+// Multi-group variant for sharded deployments: an independent MTTF/MTTR
+// schedule per listed (group, replicas) pair, merged into one event list.
+inline std::vector<FailureEvent> RandomMultiGroupCrashSchedule(
+    sim::Rng& rng,
+    const std::vector<std::pair<vr::GroupId, std::size_t>>& groups,
+    sim::Time horizon, double mttf_seconds, double mttr_seconds) {
+  std::vector<FailureEvent> out;
+  for (const auto& [g, replicas] : groups) {
+    auto one = RandomCrashSchedule(rng, g, replicas, horizon, mttf_seconds,
+                                   mttr_seconds);
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+// Whole-cluster blackout: every replica of every listed group crashes at
+// `at` and recovers (disk intact) staggered from `at + outage` — the §4.2
+// catastrophe drill aimed at a sharded deployment.
+inline std::vector<FailureEvent> WholeClusterOutage(
+    const std::vector<std::pair<vr::GroupId, std::size_t>>& groups,
+    sim::Time at, sim::Duration outage,
+    sim::Duration stagger = 20 * sim::kMillisecond) {
+  std::vector<FailureEvent> out;
+  sim::Duration skew = 0;
+  for (const auto& [g, replicas] : groups) {
+    for (std::size_t i = 0; i < replicas; ++i) {
+      out.push_back(FailureEvent::Crash(at, g, i));
+      out.push_back(FailureEvent::Recover(at + outage + skew, g, i));
+      skew += stagger;
+    }
+  }
+  return out;
+}
+
 }  // namespace vsr::workload

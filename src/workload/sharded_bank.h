@@ -1,0 +1,70 @@
+// Sharded bank workload (DESIGN.md §11): accounts spread across N module
+// groups by key range, transfers crossing shard boundaries as real
+// two-phase commits, and an ownership gate that turns placement changes
+// into retryable wrong-shard aborts.
+//
+// The procs are the bank procs with one addition: before touching an
+// account they check the placement directory — serve only if this group
+// owns the key's range and the range is not in its handoff window.
+// Otherwise the call fails with a "wrong-shard" error, the transaction
+// aborts, and the client refreshes its ShardRouter cache and retries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/cluster.h"
+#include "client/shard_router.h"
+#include "core/cohort.h"
+
+namespace vsr::workload {
+
+// Zero-padded account name ("a007") so lexicographic key ranges follow
+// account order.
+std::string ShardAccountName(int i);
+
+// True iff the TxnError text marks a placement (wrong-shard) rejection —
+// the retry-with-refreshed-routing case, as opposed to a real failure.
+bool IsWrongShardError(const char* what);
+
+// Registers the gated bank procs (open/deposit/withdraw/balance) on one
+// shard group. The gate reads the cluster's directory live.
+void RegisterShardedBankProcs(client::Cluster& cluster, vr::GroupId group);
+
+// A ready-to-drive sharded deployment: `shards` own contiguous account
+// ranges tiling the key space, `client_group` coordinates transactions.
+struct ShardedBank {
+  std::vector<vr::GroupId> shards;
+  vr::GroupId client_group = 0;
+  int num_accounts = 0;
+};
+
+// Adds `num_shards` shard groups plus one client group, registers the gated
+// procs, and assigns account ranges evenly. Call before Cluster::Start().
+ShardedBank SetupShardedBank(client::Cluster& cluster, std::size_t num_shards,
+                             std::size_t replicas_per_group,
+                             int num_accounts);
+
+// Opens every account with `initial` balance via committed transactions.
+// Returns the number of accounts successfully funded (== num_accounts on
+// success).
+int FundShardedAccounts(client::Cluster& cluster, const ShardedBank& bank,
+                        long long initial);
+
+// Transfer between two accounts routed through the client's cached shard
+// table; a wrong-shard rejection refreshes the cache before the abort
+// propagates (so the driver's retry re-routes correctly).
+core::TxnBody MakeShardedTransferTxn(client::ShardRouter& router,
+                                     std::string from_acct,
+                                     std::string to_acct, long long amt);
+
+// Committed balance of one account read at its directory-owner's primary;
+// -1 if unreadable (no primary). The owner field is authoritative in every
+// move phase.
+long long ShardedCommittedBalance(client::Cluster& cluster,
+                                  const std::string& acct);
+
+// Sum over all accounts (conservation audit); -1 if any read failed.
+long long ShardedBankTotal(client::Cluster& cluster, int num_accounts);
+
+}  // namespace vsr::workload

@@ -76,6 +76,96 @@ TEST_P(Seeded, CompatibleMatchesBruteForce) {
 }
 
 // ---------------------------------------------------------------------------
+// Pset algebra over many groups: MergePset / PsetGroups / Compatible / VsMax
+// against brute-force oracles on multi-group psets (the shapes cross-shard
+// 2PC produces — one entry per participant group per call)
+// ---------------------------------------------------------------------------
+
+TEST_P(Seeded, PsetAlgebraOverManyGroups) {
+  sim::Rng rng(GetParam() * 641 + 7);
+  auto random_pset = [&](std::size_t max_entries) {
+    vr::Pset ps;
+    const std::size_t n = rng.Index(max_entries + 1);
+    for (std::size_t e = 0; e < n; ++e) {
+      vr::PsetEntry p;
+      p.groupid = 1 + rng.Index(6);
+      p.vs.view = {1 + rng.Index(5), static_cast<vr::Mid>(1 + rng.Index(3))};
+      p.vs.ts = rng.Index(8);
+      p.sub = static_cast<std::uint32_t>(rng.Index(2));
+      ps.push_back(p);
+    }
+    return ps;
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const vr::Pset a = random_pset(8), b = random_pset(8);
+    vr::Pset m = a;
+    vr::MergePset(m, b);
+
+    // Contract: m is `a` verbatim followed by the entries of `b` not already
+    // present, in b's order — the reply-merging path must neither reorder
+    // what the coordinator saw nor duplicate a participant's entry.
+    ASSERT_GE(m.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(m[i], a[i]);
+    std::set<vr::PsetEntry> in_a(a.begin(), a.end());
+    std::vector<vr::PsetEntry> tail_oracle;
+    std::set<vr::PsetEntry> seen = in_a;
+    for (const vr::PsetEntry& e : b) {
+      if (seen.insert(e).second) tail_oracle.push_back(e);
+    }
+    ASSERT_EQ(m.size(), a.size() + tail_oracle.size());
+    for (std::size_t i = 0; i < tail_oracle.size(); ++i) {
+      EXPECT_EQ(m[a.size() + i], tail_oracle[i]);
+    }
+
+    // Idempotence: merging the same pset again changes nothing.
+    vr::Pset m2 = m;
+    vr::MergePset(m2, b);
+    EXPECT_EQ(m2, m);
+    vr::MergePset(m2, a);
+    EXPECT_EQ(m2, m);
+
+    // PsetGroups: distinct groupids in first-appearance order.
+    std::vector<vr::GroupId> groups_oracle;
+    for (const vr::PsetEntry& e : m) {
+      if (std::find(groups_oracle.begin(), groups_oracle.end(), e.groupid) ==
+          groups_oracle.end()) {
+        groups_oracle.push_back(e.groupid);
+      }
+    }
+    EXPECT_EQ(vr::PsetGroups(m), groups_oracle);
+
+    // Compatible / VsMax per participant group of the merged pset, against
+    // an independent random history for that group.
+    for (vr::GroupId g : vr::PsetGroups(m)) {
+      vr::History h;
+      std::uint64_t counter = 0;
+      const int views = 1 + static_cast<int>(rng.Index(3));
+      for (int v = 0; v < views; ++v) {
+        counter += 1 + rng.Index(3);
+        h.OpenView({counter, static_cast<vr::Mid>(1 + rng.Index(3))});
+        h.Advance(rng.Index(10));
+      }
+      bool compat_oracle = true;
+      std::optional<vr::Viewstamp> max_oracle;
+      for (const vr::PsetEntry& e : m) {
+        if (e.groupid != g) continue;
+        bool covered = false;
+        for (const auto& he : h.entries()) {
+          if (he.view == e.vs.view && e.vs.ts <= he.ts) covered = true;
+        }
+        if (!covered) compat_oracle = false;
+        if (!max_oracle || *max_oracle < e.vs) max_oracle = e.vs;
+      }
+      EXPECT_EQ(vr::Compatible(m, g, h), compat_oracle)
+          << "iter " << iter << " group " << g;
+      EXPECT_EQ(vr::VsMax(m, g), max_oracle)
+          << "iter " << iter << " group " << g;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // CommBuffer StableTs is the sub-majority-th order statistic of acks
 // ---------------------------------------------------------------------------
 

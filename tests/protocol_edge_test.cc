@@ -10,6 +10,7 @@
 #include <array>
 
 #include "tests/test_util.h"
+#include "workload/sharded_bank.h"
 
 namespace vsr {
 namespace {
@@ -486,6 +487,119 @@ TEST(Replication, AckCoalescingReducesAckFramesWithoutLosingCommits) {
             eager.ack_frames * static_cast<std::uint64_t>(lazy.committed));
   EXPECT_LT(lazy.received * static_cast<std::uint64_t>(eager.committed),
             eager.received * static_cast<std::uint64_t>(lazy.committed));
+}
+
+TEST(Prepare, ViewChangeInOneShardRefusesPrepareAndAbortsEverywhere) {
+  // §3.2 across shards: a cross-shard transfer executes at both participant
+  // groups, then one participant's primary is partitioned away BEFORE its
+  // completed-call record reaches a sub-majority. The backups elect a new
+  // view that never saw the call, so the pset entry fails the compatibility
+  // check when the prepare arrives — the participant refuses, and the
+  // coordinator must abort at EVERY participant: no orphaned prepared state,
+  // no stranded locks, balances untouched.
+  ClusterOptions opts;
+  opts.seed = 97;
+  // Fixed one-way delay so the race window is deterministic: the deposit's
+  // reply is back at ~1.2ms but its completed-call record only flushes at
+  // ~1.4ms — partitioning at 1.3ms strands the record at the old primary.
+  opts.net.delay_min = opts.net.delay_max = 300 * sim::kMicrosecond;
+  Cluster cluster(opts);
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 10);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 100), 10);
+  cluster.RunFor(300 * sim::kMillisecond);
+
+  const vr::GroupId g0 = bank.shards[0];  // owns a000..a004
+  const vr::GroupId g1 = bank.shards[1];  // owns a005..a009
+  core::Cohort* b_primary = cluster.AnyPrimary(g1);
+  ASSERT_NE(b_primary, nullptr);
+  const vr::ViewId b_view = b_primary->cur_viewid();
+  sim::Scheduler* sched = &cluster.sim().scheduler();
+
+  vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  bool done = false;
+  cluster.AnyPrimary(bank.client_group)
+      ->SpawnTransaction(
+          [g0, g1, sched](core::TxnHandle& h) -> sim::Task<bool> {
+            co_await h.Call(g0, "withdraw", std::string("a000=5"));
+            co_await h.Call(g1, "deposit", std::string("a005=5"));
+            // Think long enough for the stranded group to change views.
+            co_await sim::Sleep(*sched, 3 * sim::kSecond);
+            co_return true;
+          },
+          [&](vr::TxnOutcome o) {
+            outcome = o;
+            done = true;
+          });
+
+  // Both calls have replied by 1.2ms; the deposit record flushes at 1.4ms.
+  cluster.RunFor(1300 * sim::kMicrosecond);
+  std::vector<net::NodeId> rest;
+  for (auto g : cluster.AllGroups()) {
+    for (auto* c : cluster.Cohorts(g)) {
+      if (c != b_primary) rest.push_back(c->mid());
+    }
+  }
+  cluster.network().Partition({{b_primary->mid()}, rest});
+
+  const sim::Time deadline = cluster.sim().Now() + 20 * sim::kSecond;
+  while (!done && cluster.sim().Now() < deadline) {
+    cluster.RunFor(10 * sim::kMillisecond);
+  }
+  ASSERT_TRUE(done);
+  // The shard-1 view changed underneath the transaction, its entry failed
+  // compatibility, the prepare was refused, and the whole transfer aborted —
+  // including at shard 0, which had prepared successfully.
+  EXPECT_EQ(outcome, vr::TxnOutcome::kAborted);
+  core::Cohort* b_new = cluster.AnyPrimary(g1);
+  ASSERT_NE(b_new, nullptr);
+  EXPECT_GT(b_new->cur_viewid(), b_view);
+  std::uint64_t refused = 0;
+  for (auto* c : cluster.Cohorts(g1)) refused += c->stats().prepares_refused;
+  EXPECT_GE(refused, 1u);
+
+  cluster.network().Heal();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(3 * sim::kSecond);
+
+  // Atomicity: neither leg's effect survived.
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 100);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a005"), 100);
+  // No orphaned prepares or stranded locks anywhere: both accounts can be
+  // locked again immediately, and no participant holds live transactions.
+  for (auto g : bank.shards) {
+    for (auto* c : cluster.Cohorts(g)) {
+      EXPECT_TRUE(c->objects().ActiveTxns().empty())
+          << "cohort " << c->mid() << " holds orphaned transactions";
+    }
+  }
+  vr::TxnOutcome outcome2 = vr::TxnOutcome::kUnknown;
+  for (int attempt = 0;
+       attempt < 10 && outcome2 != vr::TxnOutcome::kCommitted; ++attempt) {
+    bool done2 = false;
+    core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+    ASSERT_NE(coord, nullptr);
+    coord->SpawnTransaction(
+        [g0, g1](core::TxnHandle& h) -> sim::Task<bool> {
+          co_await h.Call(g0, "withdraw", std::string("a000=5"));
+          co_await h.Call(g1, "deposit", std::string("a005=5"));
+          co_return true;
+        },
+        [&](vr::TxnOutcome o) {
+          outcome2 = o;
+          done2 = true;
+        });
+    const sim::Time deadline2 = cluster.sim().Now() + 20 * sim::kSecond;
+    while (!done2 && cluster.sim().Now() < deadline2) {
+      cluster.RunFor(10 * sim::kMillisecond);
+    }
+    ASSERT_TRUE(done2);
+  }
+  EXPECT_EQ(outcome2, vr::TxnOutcome::kCommitted);
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 95);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a005"), 105);
 }
 
 }  // namespace

@@ -1138,8 +1138,11 @@ TEST(BatchCodec, TargetedCorruptionsAreRejected) {
   EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x00}));
   // Record tag with the reserved bit set.
   EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x01, 0x84}));
-  // Record tag with type > kNewView.
-  EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x01, 0x07}));
+  // Shard escape tag (0x07) with an unknown subtype byte.
+  EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x01, 0x07, 0x02}));
+  // Shard escape tag with flag bits set (shard records carry no call/aid/
+  // effects/plist sections).
+  EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x01, 0x27, 0x00, 0x00}));
   // same_aid on the first record of a reset batch (no previous aid).
   EXPECT_TRUE(rejects({0x01, 0x01, 0x01, 0x01, 0x14, 0x00}));
   // Effect op with reserved bits set.
