@@ -1,0 +1,145 @@
+// E14 — the host seam (DESIGN.md §12) made measurable: the same protocol
+// stack every deterministic experiment runs, executed on real threads, TCP
+// loopback sockets, and wall-clock timers.
+//
+// The paper's performance arguments (§3.7: calls run at the primary;
+// commits need one force round, stable storage off the critical path) are
+// regenerated in virtual time by E1/E2. E14 checks that nothing about them
+// depended on the simulator: a 3-replica bank group plus a single-member
+// client coordinator commits real distributed transactions end-to-end, and
+// we report wall-clock latency percentiles and throughput.
+//
+// Unlike E1..E13 this bench is nondeterministic (kernel scheduling, TCP
+// timing); the JSON records measurements, not claims to diff against.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "host/loopback.h"
+#include "workload/bank.h"
+
+namespace vsr {
+namespace {
+
+double Pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(p * (v.size() - 1))];
+}
+
+}  // namespace
+}  // namespace vsr
+
+int main() {
+  using namespace vsr;
+  bench::PrintHeader(
+      "E14: wall-clock latency/throughput on the real host (DESIGN.md §12)",
+      "the untouched protocol stack commits real transactions over TCP "
+      "loopback; remote calls and commit forces behave as in §3.7 without "
+      "the simulator underneath");
+
+  const int kAccounts = 8;
+  const int kSeqTxns = bench::Scaled(1000);
+  const int kPipeTxns = bench::Scaled(2000);
+  const int kWindow = 16;
+
+  host::LoopbackCluster cluster;
+  const vr::GroupId bank = cluster.AddGroup("bank", 3);
+  const vr::GroupId client = cluster.AddGroup("client", 1);
+  for (core::Cohort* c : cluster.Cohorts(bank)) {
+    workload::RegisterBankProcs(*c);
+  }
+  cluster.Start();
+  if (!cluster.WaitUntilStable(bank) || !cluster.WaitUntilStable(client)) {
+    bench::Row("  failed to form views");
+    return 1;
+  }
+  for (int a = 0; a < kAccounts; ++a) {
+    const std::string acct = "a" + std::to_string(a);
+    cluster.RunTransaction(
+        client, [bank, acct](core::TxnHandle& h) -> host::Task<bool> {
+          co_await h.Call(bank, "open", acct + "=1000000");
+          co_return true;
+        });
+  }
+
+  // -- Phase 1: closed-loop latency (one txn in flight) ------------------
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(kSeqTxns));
+  const auto seq_start = std::chrono::steady_clock::now();
+  int committed = 0;
+  for (int t = 0; t < kSeqTxns; ++t) {
+    const std::string acct = "a" + std::to_string(t % kAccounts);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto outcome =
+        cluster.RunTransaction(client, workload::MakeDepositTxn(bank, acct, 1));
+    const auto t1 = std::chrono::steady_clock::now();
+    if (outcome && *outcome == core::TxnOutcome::kCommitted) {
+      ++committed;
+      lat_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  const double seq_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - seq_start)
+                           .count();
+
+  bench::Row("  sequential  | %5d/%d committed | p50 %6.0fus p90 %6.0fus "
+             "p99 %6.0fus | %6.0f txn/s",
+             committed, kSeqTxns, Pct(lat_us, 0.50), Pct(lat_us, 0.90),
+             Pct(lat_us, 0.99), committed / seq_s);
+  bench::Metric("seq_committed", committed);
+  bench::Metric("seq_p50_us", Pct(lat_us, 0.50));
+  bench::Metric("seq_p90_us", Pct(lat_us, 0.90));
+  bench::Metric("seq_p99_us", Pct(lat_us, 0.99));
+  bench::Metric("seq_txn_per_s", committed / seq_s);
+
+  // -- Phase 2: pipelined throughput (kWindow txns in flight) ------------
+  const auto client_primary = cluster.PrimaryIndex(client);
+  if (!client_primary) {
+    bench::Row("  pipelined   | client primary vanished");
+    return 1;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0, pipe_done = 0, pipe_committed = 0;
+  const auto pipe_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < kPipeTxns; ++t) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return in_flight < kWindow; });
+      ++in_flight;
+    }
+    const std::string acct = "a" + std::to_string(t % kAccounts);
+    cluster.SpawnTransactionOn(*client_primary,
+                               workload::MakeDepositTxn(bank, acct, 1),
+                               [&](core::TxnOutcome o) {
+                                 std::lock_guard<std::mutex> lock(mu);
+                                 --in_flight;
+                                 ++pipe_done;
+                                 if (o == core::TxnOutcome::kCommitted) {
+                                   ++pipe_committed;
+                                 }
+                                 cv.notify_all();
+                               });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pipe_done == kPipeTxns; });
+  }
+  const double pipe_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - pipe_start)
+                            .count();
+
+  bench::Row("  pipelined   | %5d/%d committed | window %d | %6.0f txn/s",
+             pipe_committed, kPipeTxns, kWindow, pipe_committed / pipe_s);
+  bench::Metric("pipe_window", kWindow);
+  bench::Metric("pipe_committed", pipe_committed);
+  bench::Metric("pipe_txn_per_s", pipe_committed / pipe_s);
+
+  cluster.Shutdown();
+  return 0;
+}

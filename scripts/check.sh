@@ -16,6 +16,11 @@
 # O(window) (the StableTs() - window GC floor, DESIGN.md §9). It also scales
 # up the majority-loss storm soak (durable-log recovery + serializability
 # chain, DESIGN.md §10).
+#
+# CHECK_REAL_HOST=1 builds a ThreadSanitizer tree (build-tsan/) and runs the
+# genuinely multithreaded code — host conformance + the socket-host
+# integration smoke (3 replicas over real TCP loopback, primary kill) —
+# under it, plus a plain-build vrd run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,7 +65,22 @@ if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   # The comm-buffer / replication-path suites, where the windowed protocol
   # does pointer arithmetic over the GC'd record vector.
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test|sharding_test'
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test|sharding_test|host_conformance_test|socket_host_test'
+fi
+
+if [[ "${CHECK_REAL_HOST:-0}" == "1" ]]; then
+  echo "== real host (ThreadSanitizer) =="
+  cmake -B build-tsan -S . $(generator_for build-tsan) \
+    -DCMAKE_BUILD_TYPE=Debug -DVSR_TSAN=ON
+  cmake --build build-tsan -j "$JOBS" --target \
+    host_conformance_test socket_host_test vrd
+  # The only truly concurrent code in the tree: event loop, socket
+  # transport, loopback cluster. Everything protocol-side stays on one
+  # host thread per node, and TSan verifies exactly that.
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'host_conformance_test|socket_host_test'
+  echo "== real host (vrd smoke: sockets + view change) =="
+  build/src/host/vrd --txns 300 --kill-primary
 fi
 
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then

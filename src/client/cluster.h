@@ -21,6 +21,7 @@
 #include "core/directory.h"
 #include "net/network.h"
 #include "sim/simulation.h"
+#include "sim/task.h"
 #include "storage/stable_store.h"
 
 namespace vsr::client {

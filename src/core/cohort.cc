@@ -20,11 +20,11 @@ const char* StatusName(Status s) {
   return "?";
 }
 
-Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
+Cohort::Cohort(host::Host& hst, net::Transport& network,
                Directory& directory, storage::StableStore& stable,
                GroupId group, Mid self, std::vector<Mid> configuration,
                CohortOptions options)
-    : sim_(simulation),
+    : host_(hst),
       net_(network),
       directory_(directory),
       stable_(stable),
@@ -32,9 +32,9 @@ Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
       group_(group),
       self_(self),
       configuration_(std::move(configuration)),
-      store_(simulation),
+      store_(hst),
       buffer_(
-          simulation, options.buffer,
+          hst, options.buffer,
           [this](Mid to, const vr::BufferBatchMsg& b) { SendMsg(to, b); },
           [this] {
             // §3 footnote 1: an abandoned force means a communication
@@ -43,17 +43,17 @@ Cohort::Cohort(sim::Simulation& simulation, net::Network& network,
           },
           [this](Mid backup) { ServeSnapshot(backup); }),
       snap_server_(
-          simulation, options.snapshot,
+          hst, options.snapshot,
           [this](Mid to, const vr::SnapshotChunkMsg& m) { SendMsg(to, m); }),
-      elog_(simulation, stable, options.event_log,
+      elog_(hst, stable, options.event_log,
             "elog/" + std::to_string(self), self),
-      reply_waiters_(simulation.scheduler()),
-      prepare_waiters_(simulation.scheduler()),
-      commit_waiters_(simulation.scheduler()),
-      query_waiters_(simulation.scheduler()),
-      probe_waiters_(simulation.scheduler()),
-      bool_waiters_(simulation.scheduler()),
-      tasks_(simulation.scheduler()) {
+      reply_waiters_(hst.timers()),
+      prepare_waiters_(hst.timers()),
+      commit_waiters_(hst.timers()),
+      query_waiters_(hst.timers()),
+      probe_waiters_(hst.timers()),
+      bool_waiters_(hst.timers()),
+      tasks_(hst.timers()) {
   net_.Register(self_, this);
   // Identity is persisted at creation (§4.2: "mymid, configuration, and
   // mygroupid ... are stored on stable storage when the cohort is first
@@ -72,8 +72,8 @@ Cohort::~Cohort() {
 }
 
 void Cohort::Trace(const char* fmt, ...) {
-  auto& tracer = sim_.tracer();
-  if (!tracer.Enabled(sim::TraceLevel::kDebug)) return;
+  auto& tracer = host_.tracer();
+  if (!tracer.Enabled(host::TraceLevel::kDebug)) return;
   char buf[512];
   va_list args;
   va_start(args, fmt);
@@ -83,7 +83,7 @@ void Cohort::Trace(const char* fmt, ...) {
   std::snprintf(tag, sizeof(tag), "cohort/%u(g%llu,%s)", self_,
                 static_cast<unsigned long long>(group_),
                 StatusName(status_));
-  tracer.Log(sim_.Now(), sim::TraceLevel::kDebug, tag, "%s", buf);
+  tracer.Log(host_.Now(), host::TraceLevel::kDebug, tag, "%s", buf);
 }
 
 // ---------------------------------------------------------------------------
@@ -95,7 +95,7 @@ void Cohort::Start() {
   up_to_date_ = true;  // a fresh cohort's (empty) gstate is meaningful
   net_.SetNodeUp(self_, true);
   SendPings();  // self-arms the periodic ping chain
-  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+  fd_timer_ = host_.timers().After(options_.fd_check_interval,
                                      [this] { CheckLiveness(); });
   ArmUnderlingTimer();
   ArmQueryTimer();
@@ -134,7 +134,7 @@ void Cohort::ResetVolatileState() {
   cache_.clear();
   last_heard_.clear();
   ++start_view_epoch_;  // invalidates in-flight stable-storage callbacks
-  auto& sched = sim_.scheduler();
+  auto& sched = host_.timers();
   sched.Cancel(invite_timer_);
   sched.Cancel(underling_timer_);
   sched.Cancel(ping_timer_);
@@ -144,7 +144,7 @@ void Cohort::ResetVolatileState() {
   sched.Cancel(ack_timer_);
   sched.Cancel(rejoin_timer_);
   invite_timer_ = underling_timer_ = ping_timer_ = fd_timer_ = query_timer_ =
-      deferred_vc_timer_ = ack_timer_ = rejoin_timer_ = sim::kNoTimer;
+      deferred_vc_timer_ = ack_timer_ = rejoin_timer_ = host::kNoTimer;
 }
 
 void Cohort::Crash() {
@@ -174,7 +174,7 @@ void Cohort::Recover() {
   max_viewid_ = cur_viewid_;
   status_ = Status::kUnderling;  // alive again; the view change runs next
   SendPings();  // self-arms the periodic ping chain
-  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+  fd_timer_ = host_.timers().After(options_.fd_check_interval,
                                      [this] { CheckLiveness(); });
   ArmQueryTimer();
 
@@ -208,11 +208,11 @@ void Cohort::Recover() {
     // restreams (or snapshots) the missing tail. Grace-stamp the view
     // members so the failure detector gives the rejoin a liveness window
     // before declaring anyone dead.
-    for (Mid m : cur_view_.Members()) last_heard_[m] = sim_.Now();
+    for (Mid m : cur_view_.Members()) last_heard_[m] = host_.Now();
     status_ = Status::kActive;
     rejoin_pending_ = true;
     rejoin_epoch_ =
-        std::max(rejoin_epoch_ + 1, static_cast<std::uint64_t>(sim_.Now()));
+        std::max(rejoin_epoch_ + 1, static_cast<std::uint64_t>(host_.Now()));
     SendRejoinAck();
     return;
   }
@@ -238,18 +238,18 @@ void Cohort::SendPings() {
     if (peer == self_) continue;
     SendMsg(peer, vr::PingMsg{group_, self_});
   }
-  ping_timer_ = sim_.scheduler().After(options_.ping_interval,
+  ping_timer_ = host_.timers().After(options_.ping_interval,
                                        [this] { SendPings(); });
 }
 
-void Cohort::NoteAlive(Mid peer) { last_heard_[peer] = sim_.Now(); }
+void Cohort::NoteAlive(Mid peer) { last_heard_[peer] = host_.Now(); }
 
 void Cohort::CheckLiveness() {
-  fd_timer_ = sim_.scheduler().After(options_.fd_check_interval,
+  fd_timer_ = host_.timers().After(options_.fd_check_interval,
                                      [this] { CheckLiveness(); });
   if (status_ != Status::kActive) return;
 
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
 
   std::vector<Mid> alive;
   for (Mid m : configuration_) {
@@ -275,8 +275,8 @@ void Cohort::CheckLiveness() {
   }
   if (!view_member_dead && !outsider_alive) {
     // Condition cleared (e.g. a ping was merely delayed): stand down.
-    sim_.scheduler().Cancel(deferred_vc_timer_);
-    deferred_vc_timer_ = sim::kNoTimer;
+    host_.timers().Cancel(deferred_vc_timer_);
+    deferred_vc_timer_ = host::kNoTimer;
     return;
   }
 
@@ -301,12 +301,12 @@ void Cohort::CheckLiveness() {
   }
   // Defer: if a higher-priority cohort handles it, we will receive its
   // invitation (and leave the active state) before this timer fires.
-  if (deferred_vc_timer_ != sim::kNoTimer) return;  // already counting down
+  if (deferred_vc_timer_ != host::kNoTimer) return;  // already counting down
   const ViewId armed_view = cur_viewid_;
-  deferred_vc_timer_ = sim_.scheduler().After(
-      static_cast<sim::Duration>(rank) * options_.manager_stagger,
+  deferred_vc_timer_ = host_.timers().After(
+      static_cast<host::Duration>(rank) * options_.manager_stagger,
       [this, armed_view] {
-        deferred_vc_timer_ = sim::kNoTimer;
+        deferred_vc_timer_ = host::kNoTimer;
         if (status_ == Status::kActive && cur_viewid_ == armed_view) {
           BecomeViewManager();
         }

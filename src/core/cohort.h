@@ -28,9 +28,9 @@
 #include "core/directory.h"
 #include "core/options.h"
 #include "core/wait_table.h"
-#include "net/network.h"
-#include "sim/simulation.h"
-#include "sim/task.h"
+#include "net/transport.h"
+#include "host/host.h"
+#include "host/task.h"
 #include "storage/event_log.h"
 #include "storage/stable_store.h"
 #include "txn/object_store.h"
@@ -104,22 +104,22 @@ class ProcContext {
 
   // Reads `uid` under a read lock. nullopt = object does not exist.
   // Throws TxnError on lock timeout.
-  sim::Task<std::optional<std::string>> Read(std::string uid);
+  host::Task<std::optional<std::string>> Read(std::string uid);
 
   // Reads `uid` under a WRITE lock — the read-for-update idiom. A procedure
   // that reads a value it will subsequently write must use this: concurrent
   // read-then-upgrade transactions deadlock pairwise (each holds a shared
   // lock the other needs exclusively) and would all time out.
-  sim::Task<std::optional<std::string>> ReadForUpdate(std::string uid);
+  host::Task<std::optional<std::string>> ReadForUpdate(std::string uid);
 
   // Writes `uid` under a write lock (creating the object if absent).
   // Throws TxnError on lock timeout.
-  sim::Task<void> Write(std::string uid, std::string value);
+  host::Task<void> Write(std::string uid, std::string value);
 
   // Nested remote call to another group (§3; runs under the same subaction,
   // so an aborted attempt discards nested effects too). Throws TxnError if
   // the nested call gets no reply or fails.
-  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+  host::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
                                             std::vector<std::uint8_t> args);
 
   // The accumulated pset for this call (own completed-call entry is added by
@@ -147,7 +147,7 @@ class ProcContext {
 };
 
 using ProcFn =
-    std::function<sim::Task<std::vector<std::uint8_t>>(ProcContext&)>;
+    std::function<host::Task<std::vector<std::uint8_t>>(ProcContext&)>;
 
 // Client-side transaction handle (Fig. 2): issued to a transaction body
 // running at the client group's primary.
@@ -161,9 +161,9 @@ class TxnHandle {
   // Makes a remote call; merges the reply's pset. Throws TxnError when the
   // transaction is doomed (no-reply, failure) — with nested_call_retry the
   // attempt is first retried as a fresh subaction (§3.6).
-  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+  host::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
                                             std::vector<std::uint8_t> args);
-  sim::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
+  host::Task<std::vector<std::uint8_t>> Call(GroupId group, std::string proc,
                                             const std::string& args) {
     return Call(group, std::move(proc),
                 std::vector<std::uint8_t>(args.begin(), args.end()));
@@ -187,7 +187,7 @@ class TxnHandle {
 
 // Transaction body: runs at the client primary, returns true to request
 // commit, false (or throws TxnError) to abort.
-using TxnBody = std::function<sim::Task<bool>(TxnHandle&)>;
+using TxnBody = std::function<host::Task<bool>(TxnHandle&)>;
 
 // Aggregate counters consumed by tests and the bench harness.
 struct CohortStats {
@@ -241,8 +241,8 @@ struct CohortStats {
   std::uint64_t rejoin_acks_sent = 0;
   // Simulated-time instants of the last view-change start/finish, for
   // latency measurements (bench E4).
-  sim::Time last_view_change_started = 0;
-  sim::Time last_view_change_completed = 0;
+  host::Time last_view_change_started = 0;
+  host::Time last_view_change_completed = 0;
   // Shard rebalancing (DESIGN.md §11): pull requests served as source
   // primary, images installed (as primary or replicated to backups), and
   // ranges garbage-collected after a committed move.
@@ -254,7 +254,7 @@ struct CohortStats {
 
 class Cohort : public net::FrameHandler {
  public:
-  Cohort(sim::Simulation& simulation, net::Network& network,
+  Cohort(host::Host& hst, net::Transport& network,
          Directory& directory, storage::StableStore& stable, GroupId group,
          Mid self, std::vector<Mid> configuration, CohortOptions options);
   ~Cohort() override;
@@ -454,10 +454,10 @@ class Cohort : public net::FrameHandler {
   // Puller side: chunks of a cross-group transfer (m.group != group_).
   void OnShardChunk(const vr::SnapshotChunkMsg& m);
   // Assembled payload verified: install + replicate + force, then done(ok).
-  sim::Task<void> FinishShardInstall(std::uint64_t pull_id,
+  host::Task<void> FinishShardInstall(std::uint64_t pull_id,
                                      std::vector<std::uint8_t> payload);
   // (Re)sends the pull request to the source group's current primary.
-  sim::Task<void> SendShardPull();
+  host::Task<void> SendShardPull();
   // Applies a kShardInstall / kShardDrop record to the store (backup path
   // and lazy-apply promotion share it with the primary).
   void ApplyShardRecord(const vr::EventRecord& rec);
@@ -465,56 +465,56 @@ class Cohort : public net::FrameHandler {
 
   // ---- server role (txn_server.cc) ----
   void OnCall(const vr::CallMsg& m);
-  sim::Task<void> RunCall(vr::CallMsg m);
+  host::Task<void> RunCall(vr::CallMsg m);
   void OnPrepare(const vr::PrepareMsg& m);
-  sim::Task<void> RunPrepare(vr::PrepareMsg m);
+  host::Task<void> RunPrepare(vr::PrepareMsg m);
   void OnCommit(const vr::CommitMsg& m);
-  sim::Task<void> RunCommit(vr::CommitMsg m);
+  host::Task<void> RunCommit(vr::CommitMsg m);
   void OnAbort(const vr::AbortMsg& m);
   void OnAbortSub(const vr::AbortSubMsg& m);
   void LocalAbortTxn(Aid aid);
   void ArmQueryTimer();
   void QueryBlockedTxns();
-  sim::Task<void> ResolveBlockedTxn(Aid aid);
+  host::Task<void> ResolveBlockedTxn(Aid aid);
   void CommitLocally(Aid aid);
   std::vector<std::uint8_t> SnapshotGstate() const;
   void RestoreGstate(const std::vector<std::uint8_t>& bytes);
   // Awaitable force-to (false = abandoned / not primary).
-  sim::Task<bool> Force(Viewstamp vs);
+  host::Task<bool> Force(Viewstamp vs);
   // Awaitable strict-2PL lock acquisition (false = timeout/abort).
-  sim::Task<bool> AcquireLock(std::string uid, Aid aid, vr::LockMode mode);
+  host::Task<bool> AcquireLock(std::string uid, Aid aid, vr::LockMode mode);
   // Adds a record to the buffer and mirrors its outcome bookkeeping (the
   // primary-side counterpart of ApplyRecord).
   Viewstamp AddRecord(vr::EventRecord rec);
 
   // ---- client / coordinator role (txn_coord.cc) ----
-  sim::Task<void> TxnDriver(Aid aid, TxnBody body,
+  host::Task<void> TxnDriver(Aid aid, TxnBody body,
                             std::function<void(TxnOutcome)> on_done);
-  sim::Task<std::vector<std::uint8_t>> ClientCall(TxnHandle& h, GroupId group,
+  host::Task<std::vector<std::uint8_t>> ClientCall(TxnHandle& h, GroupId group,
                                                   std::string proc,
                                                   std::vector<std::uint8_t> args);
-  sim::Task<std::vector<std::uint8_t>> NestedCall(ProcContext& ctx,
+  host::Task<std::vector<std::uint8_t>> NestedCall(ProcContext& ctx,
                                                   GroupId group,
                                                   std::string proc,
                                                   std::vector<std::uint8_t> args);
   // One call attempt against (possibly changing) primaries. Does NOT retry
   // across no-reply — that is subaction policy. Returns nullopt on no reply.
-  sim::Task<std::optional<vr::ReplyMsg>> CallAttempt(
+  host::Task<std::optional<vr::ReplyMsg>> CallAttempt(
       SubAid sub_aid, GroupId group, std::string proc,
       std::vector<std::uint8_t> args, std::vector<std::uint32_t> dead_subs);
-  sim::Task<TxnOutcome> RunTwoPhaseCommit(Aid aid, Pset pset);
+  host::Task<TxnOutcome> RunTwoPhaseCommit(Aid aid, Pset pset);
   struct PrepareJoin;
-  sim::Task<void> PrepareOne(Aid aid, Pset pset, GroupId g,
+  host::Task<void> PrepareOne(Aid aid, Pset pset, GroupId g,
                              std::shared_ptr<PrepareJoin> join);
-  sim::Task<void> FinishCommitPhase(Aid aid, std::vector<GroupId> plist);
+  host::Task<void> FinishCommitPhase(Aid aid, std::vector<GroupId> plist);
   struct CommitJoin;
-  sim::Task<void> CommitOne(Aid aid, GroupId g,
+  host::Task<void> CommitOne(Aid aid, GroupId g,
                             std::shared_ptr<CommitJoin> join);
-  sim::Task<void> AbortEverywhere(Aid aid, Pset pset,
+  host::Task<void> AbortEverywhere(Aid aid, Pset pset,
                                   std::vector<GroupId> extra_groups = {});
   void OnBeginTxn(const vr::BeginTxnMsg& m);
   void OnCommitReq(const vr::CommitReqMsg& m);
-  sim::Task<void> RunCommitReq(vr::CommitReqMsg m);
+  host::Task<void> RunCommitReq(vr::CommitReqMsg m);
   void OnAbortReq(const vr::AbortReqMsg& m);
 
   // Cache of other groups' primaries (§3: "It stores this information in a
@@ -526,19 +526,19 @@ class Cohort : public net::FrameHandler {
   std::optional<CacheEntry> CacheGet(GroupId g) const;
   void CacheUpdate(GroupId g, ViewId vid, const View& v);
   void CacheInvalidate(GroupId g);
-  sim::Task<std::optional<CacheEntry>> CacheLookup(GroupId g);
+  host::Task<std::optional<CacheEntry>> CacheLookup(GroupId g);
   void OnProbe(const vr::ProbeMsg& m);
   void OnProbeReply(const vr::ProbeReplyMsg& m);
 
   // ---- wiring ----
-  sim::Simulation& sim_;
-  net::Network& net_;
+  host::Host& host_;
+  net::Transport& net_;
   Directory& directory_;
   storage::StableStore& stable_;
   CohortOptions options_;
   // When options_.call_service_time > 0: the time this cohort's serial CPU
   // becomes free again (calls queue behind it, see RunCall).
-  sim::Time cpu_free_ = 0;
+  host::Time cpu_free_ = 0;
 
   // ---- identity (stable, §4.2) ----
   const GroupId group_;
@@ -574,7 +574,7 @@ class Cohort : public net::FrameHandler {
   // crash wipes memory, but time is monotonic across crashes, so a later
   // recovery always tags a strictly larger epoch.
   std::uint64_t rejoin_epoch_ = 0;
-  sim::TimerId rejoin_timer_ = sim::kNoTimer;
+  host::TimerId rejoin_timer_ = host::kNoTimer;
   // Replay in progress: ApplyRecord must not re-append to the log.
   bool log_replay_active_ = false;
 
@@ -588,10 +588,10 @@ class Cohort : public net::FrameHandler {
     ViewId crash_viewid;
   };
   std::map<Mid, AcceptRecord> accepts_;  // responses to our invitation
-  sim::TimerId invite_timer_ = sim::kNoTimer;
-  sim::TimerId underling_timer_ = sim::kNoTimer;
+  host::TimerId invite_timer_ = host::kNoTimer;
+  host::TimerId underling_timer_ = host::kNoTimer;
   std::uint64_t start_view_epoch_ = 0;  // cancels stale FinishStartView
-  sim::Time view_change_began_ = 0;
+  host::Time view_change_began_ = 0;
 
   // ---- backup replication state ----
   std::uint64_t applied_ts_ = 0;  // highest contiguously applied record ts
@@ -607,7 +607,7 @@ class Cohort : public net::FrameHandler {
   vr::BatchDecoder batch_decoder_;
   // Ack coalescing (options.ack_coalesce_delay): armed while a deferred
   // cumulative ack is pending; the send reads applied_ts_ at fire time.
-  sim::TimerId ack_timer_ = sim::kNoTimer;
+  host::TimerId ack_timer_ = host::kNoTimer;
   // Incoming snapshot assembly (backup side, DESIGN.md §9). While a transfer
   // is in flight (`installing_snapshot_`) this cohort's gstate is about to
   // be wholesale-replaced, so it answers view-change invitations as
@@ -619,7 +619,7 @@ class Cohort : public net::FrameHandler {
   // (all-or-nothing) so a dead transfer cannot leave this cohort
   // crashed-equivalent forever — that would wedge view formation for good
   // when the serving primary itself is the cohort that crashed.
-  sim::TimerId snap_abandon_timer_ = sim::kNoTimer;
+  host::TimerId snap_abandon_timer_ = host::kNoTimer;
 
   // ---- shard rebalancing (shard.cc, DESIGN.md §11) ----
   // One outstanding cross-group pull at a time (the rebalancer moves one
@@ -632,18 +632,18 @@ class Cohort : public net::FrameHandler {
     std::string hi;
     std::function<void(bool)> done;
     vr::SnapshotSink sink;
-    sim::TimerId retry_timer = sim::kNoTimer;
+    host::TimerId retry_timer = host::kNoTimer;
   };
   std::unique_ptr<ShardPull> shard_pull_;
   std::uint64_t next_shard_pull_id_ = 1;
 
   // ---- failure detection ----
-  std::map<Mid, sim::Time> last_heard_;
-  sim::TimerId ping_timer_ = sim::kNoTimer;
-  sim::TimerId fd_timer_ = sim::kNoTimer;
+  std::map<Mid, host::Time> last_heard_;
+  host::TimerId ping_timer_ = host::kNoTimer;
+  host::TimerId fd_timer_ = host::kNoTimer;
   // Armed when a lower-priority cohort defers a needed view change to its
   // higher-priority peers (§4.1 ordering policy).
-  sim::TimerId deferred_vc_timer_ = sim::kNoTimer;
+  host::TimerId deferred_vc_timer_ = host::kNoTimer;
 
   // ---- server role ----
   std::map<std::string, ProcFn> procs_;
@@ -671,15 +671,15 @@ class Cohort : public net::FrameHandler {
   std::set<Aid> querying_;                          // resolution in flight
   // Last time each lock-holding transaction showed activity here; feeds the
   // idle-transaction janitor (§3.4 queries).
-  std::map<Aid, sim::Time> txn_activity_;
-  sim::TimerId query_timer_ = sim::kNoTimer;
+  std::map<Aid, host::Time> txn_activity_;
+  host::TimerId query_timer_ = host::kNoTimer;
 
   // ---- coordinator-server role (§3.5) ----
   // Externally driven transactions (unreplicated clients), with begin time
   // for the unilateral-abort sweep.
-  std::map<Aid, sim::Time> external_txns_;
+  std::map<Aid, host::Time> external_txns_;
   std::set<Aid> committing_external_;  // commit-req in flight (dedup)
-  sim::Task<void> RunAbortReq(vr::AbortReqMsg m);
+  host::Task<void> RunAbortReq(vr::AbortReqMsg m);
   void SweepExternalTxns();
 
   // ---- client role ----
@@ -708,7 +708,7 @@ class Cohort : public net::FrameHandler {
 
   // Declared last: destroying the registry tears down suspended coroutines
   // whose awaiter destructors deregister from the tables above.
-  sim::TaskRegistry tasks_;
+  host::TaskRegistry tasks_;
 };
 
 }  // namespace vsr::core

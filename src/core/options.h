@@ -3,7 +3,7 @@
 // varies these explicitly.
 #pragma once
 
-#include "sim/time.h"
+#include "host/time.h"
 #include "storage/event_log.h"
 #include "vr/comm_buffer.h"
 #include "vr/snapshot.h"
@@ -12,20 +12,20 @@ namespace vsr::core {
 
 struct CohortOptions {
   // ---- Failure detection (§4: "I'm alive" messages) ----
-  sim::Duration ping_interval = 30 * sim::kMillisecond;
-  sim::Duration liveness_timeout = 120 * sim::kMillisecond;
-  sim::Duration fd_check_interval = 40 * sim::kMillisecond;
+  host::Duration ping_interval = 30 * host::kMillisecond;
+  host::Duration liveness_timeout = 120 * host::kMillisecond;
+  host::Duration fd_check_interval = 40 * host::kMillisecond;
 
   // ---- View change (§4.1: use "fairly long" timeouts so slow responders
   //      are not excluded, which would trigger cascading view changes) ----
-  sim::Duration invite_response_wait = 150 * sim::kMillisecond;
-  sim::Duration view_form_retry = 250 * sim::kMillisecond;
-  sim::Duration underling_timeout = 400 * sim::kMillisecond;
+  host::Duration invite_response_wait = 150 * host::kMillisecond;
+  host::Duration view_form_retry = 250 * host::kMillisecond;
+  host::Duration underling_timeout = 400 * host::kMillisecond;
   // Staggered manager eligibility (§4.1: "the cohorts could be ordered, and
   // a cohort would become a manager only if all higher-priority cohorts
   // appear to be inaccessible"). Cohort k in the configuration waits an
   // extra k * manager_stagger before self-promoting to manager.
-  sim::Duration manager_stagger = 60 * sim::kMillisecond;
+  host::Duration manager_stagger = 60 * host::kMillisecond;
 
   // ---- Communication buffer ----
   vr::CommBufferOptions buffer;
@@ -44,7 +44,7 @@ struct CohortOptions {
   // An unfinished cross-group shard pull re-resolves the source group's
   // primary and re-sends the pull request after this long (source primary
   // crashed or stood down mid-transfer).
-  sim::Duration shard_pull_retry = 250 * sim::kMillisecond;
+  host::Duration shard_pull_retry = 250 * host::kMillisecond;
 
   // ---- Transactions ----
   // CPU cost of executing one procedure call at the primary, modeled as a
@@ -53,32 +53,32 @@ struct CohortOptions {
   // measure capacity — e.g. E13's throughput-vs-shard-count sweep — turn
   // this on; with it off a single group can absorb unbounded load and
   // sharding has nothing to show.
-  sim::Duration call_service_time = 0;
-  sim::Duration lock_wait_timeout = 150 * sim::kMillisecond;
-  sim::Duration call_timeout = 60 * sim::kMillisecond;  // per attempt
+  host::Duration call_service_time = 0;
+  host::Duration lock_wait_timeout = 150 * host::kMillisecond;
+  host::Duration call_timeout = 60 * host::kMillisecond;  // per attempt
   int call_attempts = 3;                                // probes before "no reply"
-  sim::Duration prepare_timeout = 80 * sim::kMillisecond;
+  host::Duration prepare_timeout = 80 * host::kMillisecond;
   int prepare_attempts = 3;
-  sim::Duration commit_ack_timeout = 80 * sim::kMillisecond;
+  host::Duration commit_ack_timeout = 80 * host::kMillisecond;
   int commit_attempts = 5;
-  sim::Duration probe_timeout = 50 * sim::kMillisecond;
+  host::Duration probe_timeout = 50 * host::kMillisecond;
   int probe_rounds = 4;
   // Blocked prepared participants query the coordinator group this often
   // (§3.4).
-  sim::Duration query_interval = 250 * sim::kMillisecond;
+  host::Duration query_interval = 250 * host::kMillisecond;
   // §3.5: a coordinator-server aborts an externally driven transaction
   // unilaterally when the client has gone quiet this long.
-  sim::Duration external_txn_timeout = 2 * sim::kSecond;
+  host::Duration external_txn_timeout = 2 * host::kSecond;
   // §3.4: a participant holding locks for a transaction that has gone quiet
   // (no call/prepare/commit activity) queries the coordinator group after
   // this long — abort messages are best-effort, so this is the net that
   // frees locks left by vanished or doomed transactions.
-  sim::Duration idle_txn_timeout = 700 * sim::kMillisecond;
+  host::Duration idle_txn_timeout = 700 * host::kMillisecond;
   // Backup ack coalescing: gap-free BufferAcks may be deferred up to this
   // long and merged into one frame carrying the latest applied watermark
   // (0 = every batch is acked immediately). Gap requests are never deferred.
   // Trades a little force-to latency for fewer ack frames per tick.
-  sim::Duration ack_coalesce_delay = 0;
+  host::Duration ack_coalesce_delay = 0;
 
   // ---- Design choices (ablations; see DESIGN.md §4) ----
   // Backups apply event records as they arrive (fast primary handoff) vs.

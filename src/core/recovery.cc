@@ -87,7 +87,7 @@ bool Cohort::RecoverFromLog() {
   history_.Advance(ts);
   RestoreGstate(gstate);
   prepared_ = std::move(prepared);
-  for (const Aid& aid : prepared_) txn_activity_[aid] = sim_.Now();
+  for (const Aid& aid : prepared_) txn_activity_[aid] = host_.Now();
   if (!prepared_.empty()) ArmQueryTimer();
   applied_ts_ = ts;
 
@@ -130,18 +130,18 @@ void Cohort::SendRejoinAck() {
   ack.rejoin_epoch = rejoin_epoch_;
   SendMsg(cur_view_.primary, ack);
   ++stats_.rejoin_acks_sent;
-  sim_.scheduler().Cancel(rejoin_timer_);
+  host_.timers().Cancel(rejoin_timer_);
   rejoin_timer_ =
-      sim_.scheduler().After(options_.buffer.retransmit_interval, [this] {
-        rejoin_timer_ = sim::kNoTimer;
+      host_.timers().After(options_.buffer.retransmit_interval, [this] {
+        rejoin_timer_ = host::kNoTimer;
         SendRejoinAck();
       });
 }
 
 void Cohort::ClearRejoin() {
   rejoin_pending_ = false;
-  sim_.scheduler().Cancel(rejoin_timer_);
-  rejoin_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(rejoin_timer_);
+  rejoin_timer_ = host::kNoTimer;
 }
 
 }  // namespace vsr::core

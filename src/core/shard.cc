@@ -64,7 +64,7 @@ void Cohort::PullShard(GroupId from_group, std::string lo, std::string hi,
   tasks_.Spawn(SendShardPull());
 }
 
-sim::Task<void> Cohort::SendShardPull() {
+host::Task<void> Cohort::SendShardPull() {
   if (!shard_pull_) co_return;
   const std::uint64_t id = shard_pull_->id;
   // Resolve the source group's current primary (probing if the cache is
@@ -88,9 +88,9 @@ sim::Task<void> Cohort::SendShardPull() {
   // crashed, stood down, or the request was lost), re-resolve and re-send.
   // A completed transfer resets shard_pull_, which voids the timer via id.
   shard_pull_->retry_timer =
-      sim_.scheduler().After(options_.shard_pull_retry, [this, id] {
+      host_.timers().After(options_.shard_pull_retry, [this, id] {
         if (!shard_pull_ || shard_pull_->id != id) return;
-        shard_pull_->retry_timer = sim::kNoTimer;
+        shard_pull_->retry_timer = host::kNoTimer;
         CacheInvalidate(shard_pull_->from_group);
         shard_pull_->sink.Reset();
         tasks_.Spawn(SendShardPull());
@@ -119,7 +119,7 @@ void Cohort::OnShardChunk(const vr::SnapshotChunkMsg& m) {
   }
 }
 
-sim::Task<void> Cohort::FinishShardInstall(std::uint64_t pull_id,
+host::Task<void> Cohort::FinishShardInstall(std::uint64_t pull_id,
                                            std::vector<std::uint8_t> payload) {
   if (!shard_pull_ || shard_pull_->id != pull_id || !IsActivePrimary()) {
     co_return;
@@ -153,7 +153,7 @@ sim::Task<void> Cohort::FinishShardInstall(std::uint64_t pull_id,
 
 void Cohort::ResetShardPull(bool ok) {
   if (!shard_pull_) return;
-  sim_.scheduler().Cancel(shard_pull_->retry_timer);
+  host_.timers().Cancel(shard_pull_->retry_timer);
   auto done = std::move(shard_pull_->done);
   shard_pull_.reset();
   if (done) done(ok);

@@ -30,7 +30,7 @@ void Cohort::SpawnTransaction(TxnBody body,
   tasks_.Spawn(TxnDriver(aid, std::move(body), std::move(on_done)));
 }
 
-sim::Task<void> Cohort::TxnDriver(Aid aid, TxnBody body,
+host::Task<void> Cohort::TxnDriver(Aid aid, TxnBody body,
                                   std::function<void(TxnOutcome)> on_done) {
   TxnHandle h(*this, aid);
   active_txns_.insert(aid);
@@ -68,12 +68,12 @@ sim::Task<void> Cohort::TxnDriver(Aid aid, TxnBody body,
 // Remote calls from the client primary (Fig. 2 "Making a remote call")
 // ---------------------------------------------------------------------------
 
-sim::Task<std::vector<std::uint8_t>> TxnHandle::Call(
+host::Task<std::vector<std::uint8_t>> TxnHandle::Call(
     GroupId group, std::string proc, std::vector<std::uint8_t> args) {
   return cohort_->ClientCall(*this, group, std::move(proc), std::move(args));
 }
 
-sim::Task<std::vector<std::uint8_t>> Cohort::ClientCall(
+host::Task<std::vector<std::uint8_t>> Cohort::ClientCall(
     TxnHandle& h, GroupId group, std::string proc,
     std::vector<std::uint8_t> args) {
   if (h.doomed_) throw TxnError("transaction doomed: " + h.doom_reason_);
@@ -131,7 +131,7 @@ sim::Task<std::vector<std::uint8_t>> Cohort::ClientCall(
   throw TxnError(h.doom_reason_);
 }
 
-sim::Task<std::vector<std::uint8_t>> Cohort::NestedCall(
+host::Task<std::vector<std::uint8_t>> Cohort::NestedCall(
     ProcContext& ctx, GroupId group, std::string proc,
     std::vector<std::uint8_t> args) {
   // A server's nested call inherits the caller's subaction, so an aborted
@@ -149,7 +149,7 @@ sim::Task<std::vector<std::uint8_t>> Cohort::NestedCall(
   co_return std::move(r->result);
 }
 
-sim::Task<std::optional<vr::ReplyMsg>> Cohort::CallAttempt(
+host::Task<std::optional<vr::ReplyMsg>> Cohort::CallAttempt(
     SubAid sub_aid, GroupId group, std::string proc,
     std::vector<std::uint8_t> args, std::vector<std::uint32_t> dead_subs) {
   // One duplicate-suppression key for every transmission of this attempt.
@@ -233,7 +233,7 @@ struct Cohort::CommitJoin {
   Cohort* cohort = nullptr;
 };
 
-sim::Task<TxnOutcome> Cohort::RunTwoPhaseCommit(Aid aid, Pset pset) {
+host::Task<TxnOutcome> Cohort::RunTwoPhaseCommit(Aid aid, Pset pset) {
   // "It determines who the participants are from the pset."
   const std::vector<GroupId> participants = vr::PsetGroups(pset);
   if (participants.empty()) co_return TxnOutcome::kCommitted;
@@ -246,7 +246,7 @@ sim::Task<TxnOutcome> Cohort::RunTwoPhaseCommit(Aid aid, Pset pset) {
   for (GroupId g : participants) tasks_.Spawn(PrepareOne(aid, pset, g, join));
   const auto all_ok = co_await bool_waiters_.Await(
       join->corr,
-      static_cast<sim::Duration>(options_.prepare_attempts + 1) *
+      static_cast<host::Duration>(options_.prepare_attempts + 1) *
           (options_.prepare_timeout + options_.probe_timeout +
            options_.buffer.force_timeout));
 
@@ -277,7 +277,7 @@ sim::Task<TxnOutcome> Cohort::RunTwoPhaseCommit(Aid aid, Pset pset) {
   co_return TxnOutcome::kCommitted;
 }
 
-sim::Task<void> Cohort::PrepareOne(Aid aid, Pset pset, GroupId g,
+host::Task<void> Cohort::PrepareOne(Aid aid, Pset pset, GroupId g,
                                    std::shared_ptr<PrepareJoin> join) {
   bool ok = false;
   bool read_only = false;
@@ -330,7 +330,7 @@ sim::Task<void> Cohort::PrepareOne(Aid aid, Pset pset, GroupId g,
   }
 }
 
-sim::Task<void> Cohort::FinishCommitPhase(Aid aid,
+host::Task<void> Cohort::FinishCommitPhase(Aid aid,
                                           std::vector<GroupId> plist) {
   bool all_acked = true;
   if (!plist.empty()) {
@@ -341,7 +341,7 @@ sim::Task<void> Cohort::FinishCommitPhase(Aid aid,
     for (GroupId g : plist) tasks_.Spawn(CommitOne(aid, g, join));
     auto r = co_await bool_waiters_.Await(
         join->corr,
-        static_cast<sim::Duration>(options_.commit_attempts + 1) *
+        static_cast<host::Duration>(options_.commit_attempts + 1) *
             (options_.commit_ack_timeout + options_.probe_timeout +
              options_.buffer.force_timeout));
     all_acked = r.value_or(false) && join->acked == plist.size();
@@ -355,7 +355,7 @@ sim::Task<void> Cohort::FinishCommitPhase(Aid aid,
   }
 }
 
-sim::Task<void> Cohort::CommitOne(Aid aid, GroupId g,
+host::Task<void> Cohort::CommitOne(Aid aid, GroupId g,
                                   std::shared_ptr<CommitJoin> join) {
   for (int attempt = 0; attempt < options_.commit_attempts;) {
     auto entry = co_await CacheLookup(g);
@@ -392,7 +392,7 @@ sim::Task<void> Cohort::CommitOne(Aid aid, GroupId g,
   if (--join->remaining == 0) bool_waiters_.Fulfill(join->corr, true);
 }
 
-sim::Task<void> Cohort::AbortEverywhere(Aid aid, Pset pset,
+host::Task<void> Cohort::AbortEverywhere(Aid aid, Pset pset,
                                         std::vector<GroupId> extra_groups) {
   // Best-effort abort messages; "delivery of abort messages is not
   // guaranteed in any case: recovery from lost messages is done by using
@@ -444,7 +444,7 @@ void Cohort::CacheUpdate(GroupId g, ViewId vid, const View& v) {
 
 void Cohort::CacheInvalidate(GroupId g) { cache_.erase(g); }
 
-sim::Task<std::optional<Cohort::CacheEntry>> Cohort::CacheLookup(GroupId g) {
+host::Task<std::optional<Cohort::CacheEntry>> Cohort::CacheLookup(GroupId g) {
   if (auto e = CacheGet(g)) co_return e;
   // "To find a server it has not used before, a cohort fetches the
   //  configuration from the location server and communicates with members of
@@ -509,7 +509,7 @@ void Cohort::OnBeginTxn(const vr::BeginTxnMsg& m) {
   aid.view = cur_viewid_;
   aid.seq = next_txn_seq_++;
   active_txns_.insert(aid);
-  external_txns_[aid] = sim_.Now();
+  external_txns_[aid] = host_.Now();
   r.status = vr::ReplyStatus::kOk;
   r.aid = aid;
   SendMsg(m.reply_to, r);
@@ -521,7 +521,7 @@ void Cohort::OnCommitReq(const vr::CommitReqMsg& m) {
   tasks_.Spawn(RunCommitReq(m));
 }
 
-sim::Task<void> Cohort::RunCommitReq(vr::CommitReqMsg m) {
+host::Task<void> Cohort::RunCommitReq(vr::CommitReqMsg m) {
   TxnOutcome outcome = outcomes_.Lookup(m.aid);
   if (outcome == TxnOutcome::kUnknown) {
     if (active_txns_.count(m.aid) == 0) {
@@ -564,7 +564,7 @@ void Cohort::OnAbortReq(const vr::AbortReqMsg& m) {
 
 void Cohort::SweepExternalTxns() {
   // "if no reply is forthcoming, it can abort the transaction unilaterally."
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
   std::vector<Aid> expired;
   for (const auto& [aid, began] : external_txns_) {
     if (committing_external_.count(aid) != 0) continue;

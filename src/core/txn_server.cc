@@ -9,7 +9,7 @@ namespace vsr::core {
 // Awaitable primitives
 // ---------------------------------------------------------------------------
 
-sim::Task<bool> Cohort::Force(Viewstamp vs) {
+host::Task<bool> Cohort::Force(Viewstamp vs) {
   if (!buffer_.active()) co_return false;
   const std::uint64_t corr = NextCorrId();
   // ForceTo may complete synchronously (watermark already reached); the
@@ -22,11 +22,11 @@ sim::Task<bool> Cohort::Force(Viewstamp vs) {
   });
   if (sync->first) co_return sync->second;
   auto r = co_await bool_waiters_.Await(
-      corr, options_.buffer.force_timeout + 100 * sim::kMillisecond);
+      corr, options_.buffer.force_timeout + 100 * host::kMillisecond);
   co_return r.value_or(false);
 }
 
-sim::Task<bool> Cohort::AcquireLock(std::string uid, Aid aid,
+host::Task<bool> Cohort::AcquireLock(std::string uid, Aid aid,
                                     vr::LockMode mode) {
   const std::uint64_t corr = NextCorrId();
   auto sync = std::make_shared<std::pair<bool, bool>>(false, false);
@@ -38,7 +38,7 @@ sim::Task<bool> Cohort::AcquireLock(std::string uid, Aid aid,
                  });
   if (sync->first) co_return sync->second;
   auto r = co_await bool_waiters_.Await(
-      corr, options_.lock_wait_timeout + 100 * sim::kMillisecond);
+      corr, options_.lock_wait_timeout + 100 * host::kMillisecond);
   co_return r.value_or(false);
 }
 
@@ -117,13 +117,13 @@ void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi, bool codec_reset) {
   // and always sent now (folding any deferred ack into them — the ack field
   // is cumulative).
   if (!gap && !codec_reset && options_.ack_coalesce_delay > 0) {
-    if (ack_timer_ != sim::kNoTimer) {
+    if (ack_timer_ != host::kNoTimer) {
       ++stats_.acks_coalesced;  // rides the already-scheduled frame
       return;
     }
     ack_timer_ =
-        sim_.scheduler().After(options_.ack_coalesce_delay, [this] {
-          ack_timer_ = sim::kNoTimer;
+        host_.timers().After(options_.ack_coalesce_delay, [this] {
+          ack_timer_ = host::kNoTimer;
           if (status_ != Status::kActive || cur_view_.primary == self_) return;
           vr::BufferAckMsg ack;
           ack.group = group_;
@@ -134,8 +134,8 @@ void Cohort::SendBufferAck(bool gap, std::uint64_t gap_hi, bool codec_reset) {
         });
     return;
   }
-  sim_.scheduler().Cancel(ack_timer_);
-  ack_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(ack_timer_);
+  ack_timer_ = host::kNoTimer;
   vr::BufferAckMsg ack;
   ack.group = group_;
   ack.viewid = cur_viewid_;
@@ -396,11 +396,11 @@ void Cohort::OnSnapshotChunk(const vr::SnapshotChunkMsg& m) {
   // abandoned by the idle timer so that equivalence cannot outlive the
   // serving primary.
   installing_snapshot_ = true;
-  sim_.scheduler().Cancel(snap_abandon_timer_);
+  host_.timers().Cancel(snap_abandon_timer_);
   snap_abandon_timer_ =
-      sim_.scheduler().After(options_.snapshot.install_abandon_timeout,
+      host_.timers().After(options_.snapshot.install_abandon_timeout,
                              [this] {
-                               snap_abandon_timer_ = sim::kNoTimer;
+                               snap_abandon_timer_ = host::kNoTimer;
                                AbandonSnapshotInstall();
                              });
   if (snap_sink_.complete()) {
@@ -462,7 +462,7 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
   prepared_ = std::move(prepared);
   // Restored blocked transactions look freshly active to the idle janitor
   // and are queried via the normal §3.4 path if they stay quiet.
-  for (const Aid& aid : prepared_) txn_activity_[aid] = sim_.Now();
+  for (const Aid& aid : prepared_) txn_activity_[aid] = host_.Now();
   if (!prepared_.empty()) ArmQueryTimer();
   // Everything the record stream had in flight is superseded wholesale.
   pending_records_.clear();
@@ -493,8 +493,8 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
 void Cohort::ClearSnapshotSink() {
   snap_sink_.Reset();
   installing_snapshot_ = false;
-  sim_.scheduler().Cancel(snap_abandon_timer_);
-  snap_abandon_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(snap_abandon_timer_);
+  snap_abandon_timer_ = host::kNoTimer;
 }
 
 // The chunk stream went idle for install_abandon_timeout: the serving
@@ -534,7 +534,7 @@ void ProcContext::NoteEffect(const std::string& uid, vr::LockMode mode) {
   }
 }
 
-sim::Task<std::optional<std::string>> ProcContext::Read(std::string uid) {
+host::Task<std::optional<std::string>> ProcContext::Read(std::string uid) {
   const bool ok =
       co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kRead);
   if (!ok) throw TxnError("read-lock timeout on " + uid);
@@ -542,7 +542,7 @@ sim::Task<std::optional<std::string>> ProcContext::Read(std::string uid) {
   co_return cohort_.store_.Read(uid, sub_aid_.aid);
 }
 
-sim::Task<std::optional<std::string>> ProcContext::ReadForUpdate(
+host::Task<std::optional<std::string>> ProcContext::ReadForUpdate(
     std::string uid) {
   const bool ok =
       co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kWrite);
@@ -551,7 +551,7 @@ sim::Task<std::optional<std::string>> ProcContext::ReadForUpdate(
   co_return cohort_.store_.Read(uid, sub_aid_.aid);
 }
 
-sim::Task<void> ProcContext::Write(std::string uid, std::string value) {
+host::Task<void> ProcContext::Write(std::string uid, std::string value) {
   const bool ok =
       co_await cohort_.AcquireLock(uid, sub_aid_.aid, vr::LockMode::kWrite);
   if (!ok) throw TxnError("write-lock timeout on " + uid);
@@ -560,7 +560,7 @@ sim::Task<void> ProcContext::Write(std::string uid, std::string value) {
   co_return;
 }
 
-sim::Task<std::vector<std::uint8_t>> ProcContext::Call(
+host::Task<std::vector<std::uint8_t>> ProcContext::Call(
     GroupId group, std::string proc, std::vector<std::uint8_t> args) {
   return cohort_.NestedCall(*this, group, std::move(proc), std::move(args));
 }
@@ -613,7 +613,7 @@ void Cohort::OnCall(const vr::CallMsg& m) {
   tasks_.Spawn(RunCall(m));
 }
 
-sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
+host::Task<void> Cohort::RunCall(vr::CallMsg m) {
   const ViewId call_view = cur_viewid_;
   // The client may retransmit while we execute; answer the newest copy.
   auto latest = [this, &m]() -> std::pair<std::uint64_t, Mid> {
@@ -667,10 +667,10 @@ sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
   // This is what gives a group finite capacity: calls beyond 1/service_time
   // per second queue here, and only adding groups adds capacity.
   if (options_.call_service_time > 0) {
-    const sim::Time now = sim_.Now();
-    const sim::Time start = std::max(now, cpu_free_);
+    const host::Time now = host_.Now();
+    const host::Time start = std::max(now, cpu_free_);
     cpu_free_ = start + options_.call_service_time;
-    co_await sim::Sleep(sim_.scheduler(), cpu_free_ - now);
+    co_await host::Sleep(host_.timers(), cpu_free_ - now);
     // Re-check admission: the view may have moved while queued.
     if (status_ != Status::kActive || cur_viewid_ != call_view ||
         cur_view_.primary != self_) {
@@ -735,7 +735,7 @@ sim::Task<void> Cohort::RunCall(vr::CallMsg m) {
   const Viewstamp vs = AddRecord(vr::EventRecord::CompletedCall(
       m.sub_aid, std::move(effects), m.call_seq, result, ctx.pset_));
   ++stats_.calls_executed;
-  txn_activity_[m.sub_aid.aid] = sim_.Now();
+  txn_activity_[m.sub_aid.aid] = host_.Now();
 
   // §6 ablation: synchronous replication of the completed-call record makes
   // the call itself survive any subsequent view change, at the price of a
@@ -779,7 +779,7 @@ void Cohort::OnPrepare(const vr::PrepareMsg& m) {
   tasks_.Spawn(RunPrepare(m));
 }
 
-sim::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
+host::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
   vr::PrepareReplyMsg r;
   r.aid = m.aid;
   r.from_group = group_;
@@ -859,7 +859,7 @@ sim::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
   r.status = vr::PrepareStatus::kPrepared;
   r.read_only = read_only;
   ++stats_.prepares_ok;
-  txn_activity_[m.aid] = sim_.Now();
+  txn_activity_[m.aid] = host_.Now();
   if (read_only) {
     // "If the transaction is read-only, add a <'committed', aid> record."
     AddRecord(vr::EventRecord::Committed(m.aid));
@@ -903,7 +903,7 @@ void Cohort::OnCommit(const vr::CommitMsg& m) {
   tasks_.Spawn(RunCommit(m));
 }
 
-sim::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
+host::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
   // "Release locks and install versions held by the transaction. Add a
   //  <'committed', aid> record to the buffer, do a force_to(new_vs), and
   //  send a done message to the coordinator."
@@ -967,8 +967,8 @@ void Cohort::OnAbortSub(const vr::AbortSubMsg& m) {
 // ---------------------------------------------------------------------------
 
 void Cohort::ArmQueryTimer() {
-  sim_.scheduler().Cancel(query_timer_);
-  query_timer_ = sim_.scheduler().After(options_.query_interval,
+  host_.timers().Cancel(query_timer_);
+  query_timer_ = host_.timers().After(options_.query_interval,
                                         [this] { QueryBlockedTxns(); });
 }
 
@@ -984,7 +984,7 @@ void Cohort::QueryBlockedTxns() {
   // a transaction whose client vanished (or doomed itself after a no-reply)
   // can leave locks behind. Any lock-holding transaction with no activity
   // for idle_txn_timeout gets queried at its coordinator group.
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
   for (const Aid& aid : store_.ActiveTxns()) {
     if (aid.coordinator_group == group_ && active_txns_.count(aid) != 0) {
       continue;  // our own in-flight transaction
@@ -1005,7 +1005,7 @@ void Cohort::QueryBlockedTxns() {
   }
 }
 
-sim::Task<void> Cohort::ResolveBlockedTxn(Aid aid) {
+host::Task<void> Cohort::ResolveBlockedTxn(Aid aid) {
   // The aid embeds the coordinator's groupid (§3.4), so we know whom to ask;
   // any cohort of that group that knows the outcome may answer.
   const std::vector<Mid>* config = directory_.Lookup(aid.coordinator_group);

@@ -16,12 +16,12 @@ void Cohort::ArmUnderlingTimer() {
   for (std::size_t i = 0; i < configuration_.size(); ++i) {
     if (configuration_[i] == self_) rank = i;
   }
-  sim_.scheduler().Cancel(underling_timer_);
-  underling_timer_ = sim_.scheduler().After(
+  host_.timers().Cancel(underling_timer_);
+  underling_timer_ = host_.timers().After(
       options_.underling_timeout +
-          static_cast<sim::Duration>(rank) * options_.manager_stagger,
+          static_cast<host::Duration>(rank) * options_.manager_stagger,
       [this] {
-        underling_timer_ = sim::kNoTimer;
+        underling_timer_ = host::kNoTimer;
         if (status_ == Status::kUnderling) BecomeViewManager();
       });
 }
@@ -29,16 +29,16 @@ void Cohort::ArmUnderlingTimer() {
 void Cohort::BecomeViewManager() {
   if (status_ == Status::kCrashed) return;
   if (status_ == Status::kActive || view_change_began_ == 0) {
-    view_change_began_ = sim_.Now();
-    stats_.last_view_change_started = sim_.Now();
+    view_change_began_ = host_.Now();
+    stats_.last_view_change_started = host_.Now();
   }
   Trace("becoming view manager");
   ++stats_.view_changes_started;
   status_ = Status::kViewManager;
   buffer_.Stop();  // no longer operating as a primary
   snap_server_.Stop();
-  sim_.scheduler().Cancel(underling_timer_);
-  underling_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(underling_timer_);
+  underling_timer_ = host::kNoTimer;
   MakeInvitations();
 }
 
@@ -73,10 +73,10 @@ void Cohort::MakeInvitations() {
     if (peer != self_) SendMsg(peer, invite);
   }
 
-  sim_.scheduler().Cancel(invite_timer_);
-  invite_timer_ = sim_.scheduler().After(options_.invite_response_wait,
+  host_.timers().Cancel(invite_timer_);
+  invite_timer_ = host_.timers().After(options_.invite_response_wait,
                                          [this] {
-                                           invite_timer_ = sim::kNoTimer;
+                                           invite_timer_ = host::kNoTimer;
                                            TryFormView();
                                          });
 }
@@ -120,15 +120,15 @@ void Cohort::OnInvite(const vr::InviteMsg& m) {
     return;
   }
   if (status_ == Status::kActive) {
-    view_change_began_ = sim_.Now();
-    stats_.last_view_change_started = sim_.Now();
+    view_change_began_ = host_.Now();
+    stats_.last_view_change_started = host_.Now();
   }
   Trace("accepting invitation %s from %u", m.new_viewid.ToString().c_str(),
         m.from);
   DoAccept(m.new_viewid, m.from);
   status_ = Status::kUnderling;
-  sim_.scheduler().Cancel(invite_timer_);
-  invite_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(invite_timer_);
+  invite_timer_ = host::kNoTimer;
   buffer_.Stop();
   snap_server_.Stop();
   ClearRejoin();  // the replayed view is being superseded
@@ -153,8 +153,8 @@ void Cohort::OnAccept(const vr::AcceptMsg& m) {
   accepts_[m.from] = rec;
   if (accepts_.size() == configuration_.size()) {
     // Everyone answered; no need to wait out the timer.
-    sim_.scheduler().Cancel(invite_timer_);
-    invite_timer_ = sim::kNoTimer;
+    host_.timers().Cancel(invite_timer_);
+    invite_timer_ = host::kNoTimer;
     TryFormView();
   }
 }
@@ -186,8 +186,8 @@ void Cohort::TryFormView() {
     for (const auto& r : responses) normal_count += r.crashed ? 0 : 1;
     Trace("view formation failed (%zu accepts, %zu normal)", accepts_.size(),
           normal_count);
-    invite_timer_ = sim_.scheduler().After(options_.view_form_retry, [this] {
-      invite_timer_ = sim::kNoTimer;
+    invite_timer_ = host_.timers().After(options_.view_form_retry, [this] {
+      invite_timer_ = host::kNoTimer;
       if (status_ == Status::kViewManager) MakeInvitations();
     });
     return;
@@ -227,9 +227,9 @@ void Cohort::StartViewAsPrimary(View v, ViewId vid) {
   // has an entry for `vid` once the first start is underway.
   if (!history_.Empty() && !(history_.Latest().view < vid)) return;
   Trace("starting view %s as primary", vid.ToString().c_str());
-  sim_.scheduler().Cancel(underling_timer_);
-  sim_.scheduler().Cancel(invite_timer_);
-  underling_timer_ = invite_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(underling_timer_);
+  host_.timers().Cancel(invite_timer_);
+  underling_timer_ = invite_timer_ = host::kNoTimer;
   // Until the new view is durable and its buffer running, this cohort must
   // not process transactions: a unilateral tweak arrives here while still
   // "active" in the old view, and records must never mix buffers.
@@ -320,9 +320,9 @@ void Cohort::FinishStartViewAsPrimary(View v, ViewId vid) {
 void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
                           std::uint64_t newview_ts) {
   Trace("adopting view %s as backup", vid.ToString().c_str());
-  sim_.scheduler().Cancel(underling_timer_);
-  sim_.scheduler().Cancel(invite_timer_);
-  underling_timer_ = invite_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(underling_timer_);
+  host_.timers().Cancel(invite_timer_);
+  underling_timer_ = invite_timer_ = host::kNoTimer;
 
   cur_view_ = newview.view;
   cur_viewid_ = vid;
@@ -368,7 +368,7 @@ void Cohort::EnterActive() {
   status_ = Status::kActive;
   adopting_ = false;
   ++stats_.view_changes_completed;
-  stats_.last_view_change_completed = sim_.Now();
+  stats_.last_view_change_completed = host_.Now();
   view_change_began_ = 0;
   // NOTE: call_dedup_ deliberately survives view changes — completed-call
   // replies are replicated state (they arrive via newview gstate and

@@ -14,20 +14,20 @@
 #include <unordered_map>
 #include <utility>
 
-#include "sim/scheduler.h"
+#include "host/timer.h"
 
 namespace vsr::core {
 
 template <typename M>
 class WaitTable {
  public:
-  explicit WaitTable(sim::Scheduler& sched) : sched_(sched) {}
+  explicit WaitTable(host::TimerService& sched) : sched_(sched) {}
   WaitTable(const WaitTable&) = delete;
   WaitTable& operator=(const WaitTable&) = delete;
 
   class Awaiter {
    public:
-    Awaiter(WaitTable& table, std::uint64_t key, sim::Duration timeout)
+    Awaiter(WaitTable& table, std::uint64_t key, host::Duration timeout)
         : table_(table), key_(key), timeout_(timeout) {}
     Awaiter(const Awaiter&) = delete;
     Awaiter& operator=(const Awaiter&) = delete;
@@ -42,7 +42,7 @@ class WaitTable {
       table_.entries_[key_] = this;
       registered_ = true;
       timer_ = table_.sched_.After(timeout_, [this] {
-        timer_ = sim::kNoTimer;
+        timer_ = host::kNoTimer;
         Fire(std::nullopt);
       });
     }
@@ -57,7 +57,7 @@ class WaitTable {
         registered_ = false;
       }
       table_.sched_.Cancel(timer_);
-      timer_ = sim::kNoTimer;
+      timer_ = host::kNoTimer;
       result_ = std::move(m);
       // Resuming may destroy this awaiter's frame; touch nothing after.
       handle_.resume();
@@ -65,16 +65,16 @@ class WaitTable {
 
     WaitTable& table_;
     std::uint64_t key_;
-    sim::Duration timeout_;
+    host::Duration timeout_;
     bool registered_ = false;
     std::coroutine_handle<> handle_;
-    sim::TimerId timer_ = sim::kNoTimer;
+    host::TimerId timer_ = host::kNoTimer;
     std::optional<M> result_;
   };
 
   // One waiter per key at a time; keys must be unique per outstanding
   // request (callers use monotonically increasing correlation ids).
-  Awaiter Await(std::uint64_t key, sim::Duration timeout) {
+  Awaiter Await(std::uint64_t key, host::Duration timeout) {
     assert(entries_.count(key) == 0);
     return Awaiter(*this, key, timeout);
   }
@@ -93,7 +93,7 @@ class WaitTable {
 
  private:
   friend class Awaiter;
-  sim::Scheduler& sched_;
+  host::TimerService& sched_;
   std::unordered_map<std::uint64_t, Awaiter*> entries_;
 };
 

@@ -1,0 +1,98 @@
+#include "host/event_loop.h"
+
+#include <chrono>
+
+namespace vsr::host {
+
+namespace {
+
+// All loops in a process share one epoch, so timestamps in traces and bench
+// output from different nodes are directly comparable.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+Time SteadyNow() {
+  return static_cast<Time>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  ProcessEpoch();  // pin the epoch before any thread races to create it
+}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool EventLoop::OnLoopThread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+Time EventLoop::Now() const { return SteadyNow(); }
+
+TimerId EventLoop::At(Time deadline, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    queue_.push(Entry{deadline, id, std::move(fn)});
+    live_.insert(id);
+  }
+  cv_.notify_all();
+  return id;
+}
+
+TimerId EventLoop::After(Duration delay, std::function<void()> fn) {
+  return At(SteadyNow() + delay, std::move(fn));
+}
+
+void EventLoop::Cancel(TimerId id) {
+  if (id == kNoTimer) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(id);  // the heap entry becomes a tombstone, skipped at pop
+}
+
+void EventLoop::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Time deadline = queue_.top().deadline;
+    const Time now = SteadyNow();
+    if (deadline > now) {
+      cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      continue;
+    }
+    // Move the callback out before unlocking; the entry may be a tombstone.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled
+    lock.unlock();
+    e.fn();  // may call At/After/Cancel re-entrantly (different lock scope)
+    lock.lock();
+  }
+}
+
+}  // namespace vsr::host

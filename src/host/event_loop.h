@@ -1,0 +1,95 @@
+// Real-time host: a single-threaded event loop implementing the
+// host::TimerService seam (DESIGN.md §12) over the wall clock.
+//
+// One EventLoop per node. The loop thread is the node's "host thread" in
+// the seam contract: every timer callback and every delivered frame runs on
+// it, serialized, so protocol code needs no locks — exactly as under the
+// deterministic simulator, where the scheduler thread plays the same role.
+//
+// Timers satisfy the TimerService contract:
+//   * At/After never run the callback synchronously, even with a zero or
+//     past deadline — the entry is queued and fires on the loop thread.
+//   * Earlier deadlines fire first; equal deadlines fire in scheduling
+//     order (a monotonically increasing sequence number breaks ties).
+//   * Cancel of a pending timer guarantees the callback never runs; Cancel
+//     of a fired or unknown id is a no-op.
+//   * Inside a callback scheduled for time T, Now() >= T.
+//
+// At/After/Cancel/Post are thread-safe (a socket reader thread posts frame
+// deliveries through here), but callbacks only ever execute on the loop
+// thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "host/timer.h"
+
+namespace vsr::host {
+
+class EventLoop final : public TimerService {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Spawns the loop thread. Timers scheduled before Start() fire once it
+  // runs.
+  void Start();
+
+  // Stops the loop and joins the thread. Pending timers are discarded
+  // without firing (like a process exit; cohort destructors run separately,
+  // on the caller's thread, once nothing can call into them anymore).
+  void Stop();
+
+  // Runs `fn` on the loop thread as soon as possible (an After(0) with a
+  // cross-thread-friendly name). Safe from any thread.
+  void Post(std::function<void()> fn) { After(0, std::move(fn)); }
+
+  // True iff called from the loop thread (used by assertions in the
+  // conformance tests).
+  bool OnLoopThread() const;
+
+  // host::TimerService --------------------------------------------------
+  Time Now() const override;
+  TimerId At(Time deadline, std::function<void()> fn) override;
+  TimerId After(Duration delay, std::function<void()> fn) override;
+  void Cancel(TimerId id) override;
+
+ private:
+  struct Entry {
+    Time deadline = 0;
+    TimerId id = 0;  // allocation order doubles as the FIFO tiebreak
+    // std::priority_queue pops the LARGEST element, so "greater" ordering
+    // makes it a min-heap on (deadline, id).
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.id > b.id;
+    }
+  };
+
+  void Run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Ids of queued-and-not-cancelled timers. Fire and Cancel both erase, so
+  // membership is the single source of truth for "will this fire?".
+  std::unordered_set<TimerId> live_;
+  TimerId next_id_ = 1;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace vsr::host

@@ -1,0 +1,39 @@
+// The host seam (DESIGN.md §12): everything protocol code may ask of its
+// runtime environment, bundled in one handle.
+//
+// A Host is a non-owning bundle of the two per-node services the protocol
+// stack consumes: a TimerService (clock + future work) and a Tracer. The
+// frame transport travels separately (net::Transport) because the sim shares
+// one network object across all nodes while the socket host gives each node
+// its own endpoint.
+//
+// Composition roots construct one Host per node:
+//   * sim::Simulation owns a Host over {its Scheduler, its Tracer} and
+//     converts to host::Host& implicitly — every simulated cohort shares it.
+//   * host::LoopbackCluster (socket host) owns a Host over {the node's
+//     EventLoop, its Tracer} — one per OS-thread-backed node.
+#pragma once
+
+#include "host/timer.h"
+#include "host/trace.h"
+
+namespace vsr::host {
+
+class Host {
+ public:
+  Host(TimerService& timers, Tracer& tracer)
+      : timers_(timers), tracer_(tracer) {}
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  TimerService& timers() { return timers_; }
+  const TimerService& timers() const { return timers_; }
+  Tracer& tracer() { return tracer_; }
+  Time Now() const { return timers_.Now(); }
+
+ private:
+  TimerService& timers_;
+  Tracer& tracer_;
+};
+
+}  // namespace vsr::host

@@ -1,8 +1,8 @@
-#include "sim/time.h"
+#include "host/time.h"
 
 #include <cstdio>
 
-namespace vsr::sim {
+namespace vsr::host {
 
 std::string FormatDuration(Duration d) {
   char buf[64];
@@ -18,4 +18,4 @@ std::string FormatDuration(Duration d) {
   return buf;
 }
 
-}  // namespace vsr::sim
+}  // namespace vsr::host

@@ -1,0 +1,29 @@
+// Time primitives shared by every host.
+//
+// Protocol code observes time exclusively through host::TimerService
+// (see host/timer.h): on the deterministic simulator host that clock is
+// discrete-event simulated time; on the threaded socket host it is the
+// machine's monotonic clock. Either way the unit is the microsecond and the
+// epoch is "when this host started", so all protocol arithmetic — deadlines,
+// timeouts, staleness checks — is host-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vsr::host {
+
+// A point in host time, in microseconds since the host's epoch.
+using Time = std::uint64_t;
+
+// A span of host time, in microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+// Renders a time/duration as a human-readable string, e.g. "12.345ms".
+std::string FormatDuration(Duration d);
+
+}  // namespace vsr::host

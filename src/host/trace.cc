@@ -1,9 +1,9 @@
-#include "sim/trace.h"
+#include "host/trace.h"
 
 #include <cstdio>
 #include <vector>
 
-namespace vsr::sim {
+namespace vsr::host {
 
 void Tracer::Log(Time now, TraceLevel level, const char* tag, const char* fmt,
                  ...) {
@@ -34,4 +34,4 @@ void Tracer::Log(Time now, TraceLevel level, const char* tag, const char* fmt,
   }
 }
 
-}  // namespace vsr::sim
+}  // namespace vsr::host

@@ -1,0 +1,55 @@
+// Lightweight leveled tracing, shared by both hosts.
+//
+// Trace lines carry the host timestamp and a component tag (e.g.
+// "vr/view_change"). Tests install a capturing sink to assert on protocol
+// behaviour; benchmarks leave tracing off so it costs one branch per call.
+//
+// Thread-safety: on the simulator host everything runs on one thread. On the
+// socket host each node owns its own Tracer and logs only from its event-loop
+// thread; set_level/set_sink must be called before the loop starts.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+#include "host/time.h"
+
+namespace vsr::host {
+
+enum class TraceLevel : int {
+  kOff = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+class Tracer {
+ public:
+  using Sink = std::function<void(Time, TraceLevel, const std::string& tag,
+                                  const std::string& line)>;
+
+  Tracer() = default;
+
+  void set_level(TraceLevel level) { level_ = level; }
+  TraceLevel level() const { return level_; }
+
+  // Installs a sink; pass nullptr to restore the default (stderr) sink.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  bool Enabled(TraceLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void Log(Time now, TraceLevel level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 5, 6)))
+#endif
+      ;
+
+ private:
+  TraceLevel level_ = TraceLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace vsr::host

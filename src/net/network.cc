@@ -14,6 +14,8 @@ void Network::Register(NodeId node, FrameHandler* handler) {
   handlers_[node] = handler;
 }
 
+void Network::Unregister(NodeId node) { handlers_.erase(node); }
+
 std::uint64_t Network::LinkKey(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;

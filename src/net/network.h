@@ -17,29 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "wire/buffer.h"
 
 namespace vsr::net {
-
-using NodeId = std::uint32_t;
-
-// A network frame as seen by a receiving node. `type` is an opaque tag the
-// upper layer uses for dispatch (see vr/messages.h for the protocol's tags).
-struct Frame {
-  NodeId from = 0;
-  NodeId to = 0;
-  std::uint16_t type = 0;
-  std::vector<std::uint8_t> payload;
-};
-
-// Receiver interface; one per registered node.
-class FrameHandler {
- public:
-  virtual ~FrameHandler() = default;
-  virtual void OnFrame(const Frame& frame) = 0;
-};
 
 struct NetworkOptions {
   // One-way delivery delay is drawn uniformly from [delay_min, delay_max].
@@ -71,28 +54,35 @@ struct NetworkStats {
   std::map<std::uint16_t, std::uint64_t> bytes_by_type;
 };
 
-class Network {
+class Network final : public Transport {
  public:
   Network(sim::Simulation& simulation, NetworkOptions options);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  // -- Data plane ------------------------------------------------------
+  // -- Data plane (the net::Transport seam) ------------------------------
 
   // Registers (or replaces) the handler for a node. Does NOT change up/down
   // state — only SetNodeUp does (a crashed node must go through recovery).
-  void Register(NodeId node, FrameHandler* handler);
+  void Register(NodeId node, FrameHandler* handler) override;
+
+  // Removes the handler: frames in flight toward the node are dropped at
+  // delivery time (counted as dropped_node_down). Up/down state is
+  // untouched, exactly like Register.
+  void Unregister(NodeId node) override;
 
   // Sends a frame. Local (from == to) delivery bypasses loss/partition but
   // still goes through the scheduler so handlers never re-enter.
   void Send(NodeId from, NodeId to, std::uint16_t type,
-            std::vector<std::uint8_t> payload);
+            std::vector<std::uint8_t> payload) override;
+
+  // Node crash / recovery (part of the Transport seam — cohorts flip their
+  // own valve on Start/Crash/Recover). A down node receives nothing; frames
+  // in flight toward it are dropped at delivery time.
+  void SetNodeUp(NodeId node, bool up) override;
 
   // -- Fault-injection control plane ------------------------------------
 
-  // Node crash / recovery. A down node receives nothing; frames in flight
-  // toward it are dropped at delivery time.
-  void SetNodeUp(NodeId node, bool up);
   bool NodeUp(NodeId node) const;
 
   // Splits the network into the given groups; nodes in different groups

@@ -1,0 +1,82 @@
+// The frame-transport half of the host seam (DESIGN.md §12).
+//
+// Protocol code sends and receives opaque typed frames; it never sees how
+// they travel. Two implementations exist:
+//
+//   * net::Network         — the simulated message-passing network: one
+//                            shared object models every link, with seeded
+//                            loss/delay/duplication/partition injection.
+//   * host::SocketTransport — the threaded TCP host: one endpoint per node,
+//                            length-prefixed CRC-framed messages over real
+//                            sockets.
+//
+// Contract (what protocol code may assume — DESIGN.md §12.3):
+//
+//   1. Delivery is best-effort: frames may be lost, arbitrarily delayed,
+//      duplicated, or reordered. The protocol is correct under all of that
+//      (the paper's §1 network model); the transport never has to be.
+//   2. A delivered frame is intact: the payload bytes equal the sent bytes
+//      (both transports enforce this with a CRC-32 and drop on mismatch).
+//   3. OnFrame runs on the receiving node's host thread (the simulator's
+//      event loop / the node's event-loop thread), never concurrently with
+//      that node's timers, and never re-entrantly inside Send().
+//   4. After Unregister(node) returns on the node's host thread, OnFrame is
+//      never invoked for that node again; frames in flight are dropped.
+//   5. Send() never blocks the caller on the remote node's progress. It may
+//      block briefly on local I/O (a socket write), never on a reply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vsr::net {
+
+using NodeId = std::uint32_t;
+
+// A network frame as seen by a receiving node. `type` is an opaque tag the
+// upper layer uses for dispatch (see vr/messages.h for the protocol's tags).
+struct Frame {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Receiver interface; one per registered node.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+  virtual void OnFrame(const Frame& frame) = 0;
+};
+
+// Sender interface: the only way protocol code puts frames on the wire.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Registers (or replaces) the handler for a node. Passing the handler of
+  // a node the transport does not serve (a foreign node on the socket host)
+  // is a programming error.
+  virtual void Register(NodeId node, FrameHandler* handler) = 0;
+
+  // Removes the handler; frames arriving afterwards are dropped (contract
+  // point 4). Unregistering an unknown node is a harmless no-op.
+  virtual void Unregister(NodeId node) = 0;
+
+  // Sends a frame (best-effort, contract point 1). Local (from == to)
+  // delivery bypasses loss injection but is still asynchronous: the handler
+  // never runs inside Send().
+  virtual void Send(NodeId from, NodeId to, std::uint16_t type,
+                    std::vector<std::uint8_t> payload) = 0;
+
+  // A node's lifecycle valve. A cohort marks itself down when it crashes
+  // and up again when it starts or finishes recovery; while down, the
+  // transport delivers nothing to that node (frames in flight toward it are
+  // dropped at delivery time). Registration state is separate: Register
+  // installs a handler but never changes up/down, so a crashed cohort
+  // cannot bypass its recovery path by re-registering. On the simulated
+  // network this same valve doubles as the fault-injection hook.
+  virtual void SetNodeUp(NodeId node, bool up) = 0;
+};
+
+}  // namespace vsr::net

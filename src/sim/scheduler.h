@@ -1,10 +1,14 @@
-// The discrete-event scheduler at the heart of the simulator.
+// The discrete-event scheduler at the heart of the simulator — and the
+// deterministic implementation of the host seam's TimerService (host/timer.h).
 //
 // Every asynchronous action in the system — message delivery, timer expiry,
 // stable-storage write completion — is an Event in one priority queue,
 // ordered by (time, insertion sequence). The sequence number makes
 // simultaneous events fire in a deterministic order, which in turn makes the
-// whole simulation a pure function of its seed.
+// whole simulation a pure function of its seed. That ordering is exactly the
+// TimerService contract (equal deadlines fire in scheduling order), so the
+// protocol stack scheduled through the seam behaves identically whether it
+// is driven by this class or by the real-time event loop.
 #pragma once
 
 #include <cstdint>
@@ -14,33 +18,33 @@
 #include <unordered_set>
 #include <vector>
 
+#include "host/timer.h"
 #include "sim/time.h"
 
 namespace vsr::sim {
 
-// Identifies a scheduled event so that it can be cancelled. Id 0 is never
-// issued and may be used as a sentinel for "no timer armed".
-using TimerId = std::uint64_t;
-inline constexpr TimerId kNoTimer = 0;
+// Sim-side spellings of the seam's timer handle.
+using host::TimerId;
+using host::kNoTimer;
 
-class Scheduler {
+class Scheduler final : public host::TimerService {
  public:
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Current simulated time.
-  Time Now() const { return now_; }
+  Time Now() const override { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (clamped to >= Now()).
-  TimerId At(Time at, std::function<void()> fn);
+  TimerId At(Time at, std::function<void()> fn) override;
 
   // Schedules `fn` to run `delay` from now.
-  TimerId After(Duration delay, std::function<void()> fn);
+  TimerId After(Duration delay, std::function<void()> fn) override;
 
   // Cancels a pending event. Cancelling an already-fired or unknown id is a
   // harmless no-op, so callers do not need to track firing themselves.
-  void Cancel(TimerId id);
+  void Cancel(TimerId id) override;
 
   // Runs the next pending event. Returns false if the queue is empty.
   bool Step();

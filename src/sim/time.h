@@ -1,26 +1,22 @@
-// Simulated-time primitives for the deterministic discrete-event simulator.
+// Simulated-time names, aliased from the host seam (host/time.h).
 //
-// All protocol code in this repository observes time exclusively through
-// sim::Clock (see scheduler.h); wall-clock time is never consulted, which is
-// what makes every run reproducible from a seed.
+// The simulator measures time in the same unit (microseconds) and with the
+// same types as every other host; what makes it the DETERMINISTIC host is
+// that sim::Scheduler advances this clock by event, never by wall clock, so
+// every run is a pure function of its seed. Sim-side code (network model,
+// workloads, tests, benches) keeps using the sim:: spellings; protocol code
+// uses host:: directly and never includes this header.
 #pragma once
 
-#include <cstdint>
-#include <string>
+#include "host/time.h"
 
 namespace vsr::sim {
 
-// A point in simulated time, in microseconds since simulation start.
-using Time = std::uint64_t;
-
-// A span of simulated time, in microseconds.
-using Duration = std::uint64_t;
-
-inline constexpr Duration kMicrosecond = 1;
-inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
-inline constexpr Duration kSecond = 1000 * kMillisecond;
-
-// Renders a time/duration as a human-readable string, e.g. "12.345ms".
-std::string FormatDuration(Duration d);
+using host::Duration;
+using host::FormatDuration;
+using host::Time;
+using host::kMicrosecond;
+using host::kMillisecond;
+using host::kSecond;
 
 }  // namespace vsr::sim

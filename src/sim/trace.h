@@ -1,51 +1,14 @@
-// Lightweight leveled tracing for the simulator.
+// Tracing names, aliased from the host seam (host/trace.h).
 //
-// Trace lines carry the simulated timestamp and a component tag (e.g.
-// "vr/view_change"). Tests install a capturing sink to assert on protocol
-// behaviour; benchmarks leave tracing off so it costs one branch per call.
+// The Tracer itself is host-agnostic; the simulator simply timestamps lines
+// with simulated time. Sim-side code keeps the sim:: spellings.
 #pragma once
 
-#include <cstdarg>
-#include <functional>
-#include <string>
-
-#include "sim/time.h"
+#include "host/trace.h"
 
 namespace vsr::sim {
 
-enum class TraceLevel : int {
-  kOff = 0,
-  kError = 1,
-  kInfo = 2,
-  kDebug = 3,
-};
-
-class Tracer {
- public:
-  using Sink = std::function<void(Time, TraceLevel, const std::string& tag,
-                                  const std::string& line)>;
-
-  Tracer() = default;
-
-  void set_level(TraceLevel level) { level_ = level; }
-  TraceLevel level() const { return level_; }
-
-  // Installs a sink; pass nullptr to restore the default (stderr) sink.
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
-
-  bool Enabled(TraceLevel level) const {
-    return static_cast<int>(level) <= static_cast<int>(level_);
-  }
-
-  void Log(Time now, TraceLevel level, const char* tag, const char* fmt, ...)
-#if defined(__GNUC__)
-      __attribute__((format(printf, 5, 6)))
-#endif
-      ;
-
- private:
-  TraceLevel level_ = TraceLevel::kOff;
-  Sink sink_;
-};
+using host::TraceLevel;
+using host::Tracer;
 
 }  // namespace vsr::sim

@@ -23,8 +23,8 @@ void EventLog::Append(std::uint8_t kind, std::vector<std::uint8_t> payload) {
 
 void EventLog::Flush() {
   if (pending_.empty()) return;
-  sim_.scheduler().Cancel(flush_timer_);
-  flush_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(flush_timer_);
+  flush_timer_ = host::kNoTimer;
 
   wire::Writer w;
   for (const Entry& e : pending_) {
@@ -47,8 +47,8 @@ void EventLog::BeginGeneration(Entry anchor) {
   // Unflushed entries of the old generation are superseded by the anchor.
   pending_.clear();
   pending_bytes_ = 0;
-  sim_.scheduler().Cancel(flush_timer_);
-  flush_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(flush_timer_);
+  flush_timer_ = host::kNoTimer;
 
   const std::uint64_t old_gen = gen_;
   ++gen_;
@@ -78,8 +78,8 @@ void EventLog::BeginGeneration(Entry anchor) {
 void EventLog::Crash() {
   pending_.clear();
   pending_bytes_ = 0;
-  sim_.scheduler().Cancel(flush_timer_);
-  flush_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(flush_timer_);
+  flush_timer_ = host::kNoTimer;
 }
 
 std::vector<EventLog::Entry> EventLog::Replay() {
@@ -155,9 +155,9 @@ void EventLog::Erase() {
 }
 
 void EventLog::ArmFlushTimer() {
-  if (flush_timer_ != sim::kNoTimer) return;
-  flush_timer_ = sim_.scheduler().After(options_.flush_interval, [this] {
-    flush_timer_ = sim::kNoTimer;
+  if (flush_timer_ != host::kNoTimer) return;
+  flush_timer_ = host_.timers().After(options_.flush_interval, [this] {
+    flush_timer_ = host::kNoTimer;
     Flush();
   });
 }

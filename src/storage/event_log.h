@@ -36,7 +36,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "host/host.h"
 #include "storage/stable_store.h"
 
 namespace vsr::storage {
@@ -48,7 +48,7 @@ struct EventLogOptions {
   // Group commit: a pending batch is flushed once the oldest entry has
   // waited this long, so the log trails the ack path by at most one
   // interval plus the force latency.
-  sim::Duration flush_interval = 5 * sim::kMillisecond;
+  host::Duration flush_interval = 5 * host::kMillisecond;
   // Early-flush thresholds: entry count and pre-framing payload bytes
   // (the same byte-budget idea as CommBufferOptions::max_batch_bytes).
   std::size_t max_batch = 256;
@@ -64,14 +64,14 @@ class EventLog {
 
   // `prefix` namespaces this cohort's keys in the (shared) store; `owner`
   // tags ForceWrites so Crash() can drop exactly our in-flight segments.
-  EventLog(sim::Simulation& simulation, StableStore& store,
+  EventLog(host::Host& hst, StableStore& store,
            EventLogOptions options, std::string prefix, StableStore::Owner owner)
-      : sim_(simulation),
+      : host_(hst),
         store_(store),
         options_(options),
         prefix_(std::move(prefix)),
         owner_(owner) {}
-  ~EventLog() { sim_.scheduler().Cancel(flush_timer_); }
+  ~EventLog() { host_.timers().Cancel(flush_timer_); }
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
@@ -136,7 +136,7 @@ class EventLog {
     return GenPrefix(gen) + std::to_string(seq);
   }
 
-  sim::Simulation& sim_;
+  host::Host& host_;
   StableStore& store_;
   EventLogOptions options_;
   const std::string prefix_;
@@ -146,7 +146,7 @@ class EventLog {
   std::uint64_t next_seq_ = 1;
   std::vector<Entry> pending_;
   std::size_t pending_bytes_ = 0;
-  sim::TimerId flush_timer_ = sim::kNoTimer;
+  host::TimerId flush_timer_ = host::kNoTimer;
   Stats stats_;
 };
 

@@ -25,14 +25,14 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "host/host.h"
 
 namespace vsr::storage {
 
 struct StableStoreOptions {
   // Latency of a forced (synchronous, durable) write. The paper-era default
   // models a disk write; modern SSD/NVRAM values are swept in bench E2.
-  sim::Duration force_latency = 10 * sim::kMillisecond;
+  host::Duration force_latency = 10 * host::kMillisecond;
   // Deterministic torn-write mode for recovery tests: when DropPending
   // cancels in-flight writes, the oldest one persists the first half of its
   // value (a torn sector) instead of disappearing entirely.
@@ -45,8 +45,8 @@ class StableStore {
   // writes. 0 = unowned (never dropped).
   using Owner = std::uint32_t;
 
-  StableStore(sim::Simulation& simulation, StableStoreOptions options)
-      : sim_(simulation), options_(options) {}
+  StableStore(host::Host& hst, StableStoreOptions options)
+      : host_(hst), options_(options) {}
   StableStore(const StableStore&) = delete;
   StableStore& operator=(const StableStore&) = delete;
 
@@ -62,7 +62,7 @@ class StableStore {
     pending_.emplace(
         id, PendingWrite{owner, std::move(key), std::move(value),
                          std::move(on_durable)});
-    sim_.scheduler().After(options_.force_latency, [this, id] {
+    host_.timers().After(options_.force_latency, [this, id] {
       auto it = pending_.find(id);
       if (it == pending_.end()) return;  // dropped by a crash
       PendingWrite w = std::move(it->second);
@@ -137,7 +137,7 @@ class StableStore {
   int pending_writes() const { return static_cast<int>(pending_.size()); }
 
   const StableStoreOptions& options() const { return options_; }
-  void set_force_latency(sim::Duration d) { options_.force_latency = d; }
+  void set_force_latency(host::Duration d) { options_.force_latency = d; }
   void set_torn_writes(bool v) { options_.torn_writes = v; }
 
  private:
@@ -148,7 +148,7 @@ class StableStore {
     std::function<void()> on_durable;
   };
 
-  sim::Simulation& sim_;
+  host::Host& host_;
   StableStoreOptions options_;
   std::map<std::string, std::vector<std::uint8_t>> data_;
   // Keyed by issue id: iteration order == issue order == completion order

@@ -36,7 +36,7 @@ bool ObjectStore::TryAcquire(const std::string& uid, Aid aid, LockMode mode) {
 }
 
 void ObjectStore::Acquire(const std::string& uid, Aid aid, LockMode mode,
-                          sim::Duration timeout,
+                          host::Duration timeout,
                           std::function<void(bool)> done) {
   if (TryAcquire(uid, aid, mode)) {
     done(true);
@@ -44,7 +44,7 @@ void ObjectStore::Acquire(const std::string& uid, Aid aid, LockMode mode,
   }
   ++stats_.waits;
   const std::uint64_t id = next_waiter_id_++;
-  sim::TimerId timer = sim_.scheduler().After(timeout, [this, uid, id] {
+  host::TimerId timer = host_.timers().After(timeout, [this, uid, id] {
     auto qit = waiters_.find(uid);
     if (qit == waiters_.end()) return;
     auto& q = qit->second;
@@ -167,7 +167,7 @@ void ObjectStore::Abort(Aid aid) {
   for (auto& [wuid, q] : waiters_) {
     std::erase_if(q, [&](Waiter& w) {
       if (w.aid != aid) return false;
-      sim_.scheduler().Cancel(w.timer);
+      host_.timers().Cancel(w.timer);
       failed.push_back(std::move(w.done));
       return true;
     });
@@ -261,7 +261,7 @@ void ObjectStore::PumpWaiters(const std::string& uid) {
     GrantLock(obj, w.aid, w.mode);
     touched_[w.aid].insert(uid);
     ++stats_.acquisitions;
-    sim_.scheduler().Cancel(w.timer);
+    host_.timers().Cancel(w.timer);
     granted.push_back(std::move(w.done));
     q.pop_front();
   }
@@ -309,7 +309,7 @@ std::vector<Aid> ObjectStore::ActiveTxns() const {
 
 void ObjectStore::Clear() {
   for (auto& [uid, q] : waiters_) {
-    for (Waiter& w : q) sim_.scheduler().Cancel(w.timer);
+    for (Waiter& w : q) host_.timers().Cancel(w.timer);
   }
   waiters_.clear();
   objects_.clear();

@@ -30,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "host/host.h"
 #include "vr/events.h"
 #include "vr/types.h"
 #include "wire/buffer.h"
@@ -44,7 +44,7 @@ using vr::SubAid;
 
 class ObjectStore {
  public:
-  explicit ObjectStore(sim::Simulation& simulation) : sim_(simulation) {}
+  explicit ObjectStore(host::Host& hst) : host_(hst) {}
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
   ~ObjectStore() { Clear(); }
@@ -57,7 +57,7 @@ class ObjectStore {
   // sharing; upgrades (read→write by the same transaction) wait for other
   // readers to drain.
   void Acquire(const std::string& uid, Aid aid, LockMode mode,
-               sim::Duration timeout, std::function<void(bool)> done);
+               host::Duration timeout, std::function<void(bool)> done);
 
   // Non-waiting acquisition; returns whether granted.
   bool TryAcquire(const std::string& uid, Aid aid, LockMode mode);
@@ -186,7 +186,7 @@ class ObjectStore {
     Aid aid;
     LockMode mode;
     std::function<void(bool)> done;
-    sim::TimerId timer;
+    host::TimerId timer;
   };
 
   bool LockCompatible(const Object& obj, Aid aid, LockMode mode) const;
@@ -195,7 +195,7 @@ class ObjectStore {
   void PumpWaiters(const std::string& uid);
   void ForgetTouched(Aid aid, const std::string& uid);
 
-  sim::Simulation& sim_;
+  host::Host& host_;
   std::map<std::string, Object> objects_;
   std::map<std::string, std::deque<Waiter>> waiters_;
   std::map<Aid, std::set<std::string>> touched_;

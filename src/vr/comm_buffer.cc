@@ -6,11 +6,11 @@
 
 namespace vsr::vr {
 
-CommBuffer::CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
+CommBuffer::CommBuffer(host::Host& hst, CommBufferOptions options,
                        std::function<void(Mid, const BufferBatchMsg&)> send,
                        std::function<void()> on_force_failed,
                        std::function<void(Mid)> on_needs_snapshot)
-    : sim_(simulation),
+    : host_(hst),
       options_(options),
       send_(std::move(send)),
       on_force_failed_(std::move(on_force_failed)),
@@ -40,10 +40,10 @@ void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
 
 void CommBuffer::Stop() {
   active_ = false;
-  sim_.scheduler().Cancel(flush_timer_);
-  sim_.scheduler().Cancel(retransmit_timer_);
-  sim_.scheduler().Cancel(force_check_timer_);
-  flush_timer_ = retransmit_timer_ = force_check_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(flush_timer_);
+  host_.timers().Cancel(retransmit_timer_);
+  host_.timers().Cancel(force_check_timer_);
+  flush_timer_ = retransmit_timer_ = force_check_timer_ = host::kNoTimer;
   // Drop pending forces without invoking callbacks: the continuations belong
   // to coroutines the cohort is about to destroy anyway.
   forces_.clear();
@@ -86,9 +86,9 @@ void CommBuffer::ForceTo(Viewstamp vs, std::function<void(bool)> done) {
     return;
   }
   forces_.push_back(PendingForce{vs.ts, std::move(done),
-                                 sim_.Now() + options_.force_timeout});
-  if (force_check_timer_ == sim::kNoTimer) {
-    force_check_timer_ = sim_.scheduler().After(
+                                 host_.Now() + options_.force_timeout});
+  if (force_check_timer_ == host::kNoTimer) {
+    force_check_timer_ = host_.timers().After(
         options_.force_timeout, [this] { CheckForceTimeouts(); });
   }
   ScheduleFlush(0);
@@ -196,7 +196,7 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   if (st.state_transfer || st.acked >= st.sent) {
     st.deadline = 0;
   } else if (progress) {
-    st.deadline = sim_.Now() + options_.retransmit_interval;
+    st.deadline = host_.Now() + options_.retransmit_interval;
   }
 
   // Explicit gap request: the backup saw records beyond ack.ts + 1 and asks
@@ -207,7 +207,7 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
     // means that resend was itself lost: lift the suppression so the hole
     // heals now instead of waiting out the full go-back-N deadline.
     if (st.gap_resent_hi != 0 && st.gap_deadline != 0 &&
-        sim_.Now() >= st.gap_deadline) {
+        host_.Now() >= st.gap_deadline) {
       st.gap_resent_hi = 0;
     }
     const std::uint64_t lo = st.acked;
@@ -216,8 +216,8 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
       ++stats_.gap_requests;
       stats_.records_retransmitted += hi - lo;
       st.gap_resent_hi = hi;
-      st.gap_deadline = sim_.Now() + options_.retransmit_interval / 2;
-      st.deadline = sim_.Now() + options_.retransmit_interval;
+      st.gap_deadline = host_.Now() + options_.retransmit_interval / 2;
+      st.deadline = host_.Now() + options_.retransmit_interval;
       SendRange(ack.from, lo, hi);
     }
   }
@@ -278,11 +278,11 @@ void CommBuffer::ResolveForces() {
 }
 
 void CommBuffer::CheckForceTimeouts() {
-  force_check_timer_ = sim::kNoTimer;
+  force_check_timer_ = host::kNoTimer;
   if (!active_) return;
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
   std::vector<std::function<void(bool)>> expired;
-  sim::Time next_deadline = 0;
+  host::Time next_deadline = 0;
   std::erase_if(forces_, [&](PendingForce& f) {
     if (f.deadline <= now) {
       expired.push_back(std::move(f.done));
@@ -295,7 +295,7 @@ void CommBuffer::CheckForceTimeouts() {
   });
   if (next_deadline != 0) {
     force_check_timer_ =
-        sim_.scheduler().At(next_deadline, [this] { CheckForceTimeouts(); });
+        host_.timers().At(next_deadline, [this] { CheckForceTimeouts(); });
   }
   if (!expired.empty()) {
     stats_.forces_failed += expired.size();
@@ -307,17 +307,17 @@ void CommBuffer::CheckForceTimeouts() {
   }
 }
 
-void CommBuffer::ScheduleFlush(sim::Duration delay) {
+void CommBuffer::ScheduleFlush(host::Duration delay) {
   if (!active_) return;
   if (delay == 0) {
-    sim_.scheduler().Cancel(flush_timer_);
-    flush_timer_ = sim::kNoTimer;
+    host_.timers().Cancel(flush_timer_);
+    flush_timer_ = host::kNoTimer;
     FlushNow();
     return;
   }
-  if (flush_timer_ != sim::kNoTimer) return;  // already scheduled
-  flush_timer_ = sim_.scheduler().After(delay, [this] {
-    flush_timer_ = sim::kNoTimer;
+  if (flush_timer_ != host::kNoTimer) return;  // already scheduled
+  flush_timer_ = host_.timers().After(delay, [this] {
+    flush_timer_ = host::kNoTimer;
     FlushNow();
   });
 }
@@ -364,7 +364,7 @@ void CommBuffer::SendTo(Mid backup) {
         std::min({last, limit, lo + options_.max_batch});
     st.sent = hi;
     if (st.deadline == 0) {
-      st.deadline = sim_.Now() + options_.retransmit_interval;
+      st.deadline = host_.Now() + options_.retransmit_interval;
     }
     SendRange(backup, lo, hi);
   }
@@ -415,23 +415,23 @@ void CommBuffer::SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi) {
 }
 
 void CommBuffer::ArmRetransmitTimer() {
-  sim::Time next = 0;
+  host::Time next = 0;
   for (const auto& [mid, st] : state_) {
     if (st.deadline != 0 && (next == 0 || st.deadline < next)) {
       next = st.deadline;
     }
   }
-  sim_.scheduler().Cancel(retransmit_timer_);
-  retransmit_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(retransmit_timer_);
+  retransmit_timer_ = host::kNoTimer;
   if (next == 0) return;
   retransmit_timer_ =
-      sim_.scheduler().At(next, [this] { CheckRetransmits(); });
+      host_.timers().At(next, [this] { CheckRetransmits(); });
 }
 
 void CommBuffer::CheckRetransmits() {
-  retransmit_timer_ = sim::kNoTimer;
+  retransmit_timer_ = host::kNoTimer;
   if (!active_) return;
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
   for (auto& [backup, st] : state_) {
     if (st.state_transfer) continue;  // no record deadlines during transfer
     if (st.deadline == 0 || st.deadline > now) continue;

@@ -38,7 +38,7 @@
 #include <map>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "host/host.h"
 #include "vr/batch_codec.h"
 #include "vr/events.h"
 #include "vr/history.h"
@@ -50,13 +50,13 @@ namespace vsr::vr {
 struct CommBufferOptions {
   // Background flush delay: how long Add()ed records may linger before being
   // sent ("at a convenient time"). ForceTo flushes immediately.
-  sim::Duration flush_delay = 500 * sim::kMicrosecond;
+  host::Duration flush_delay = 500 * host::kMicrosecond;
   // Per-backup ack deadline: in-flight records not acknowledged within this
   // window trigger a go-back-N resend to that backup only.
-  sim::Duration retransmit_interval = 20 * sim::kMillisecond;
+  host::Duration retransmit_interval = 20 * host::kMillisecond;
   // A force that has not satisfied a sub-majority within this window is
   // abandoned (communication failure ⇒ view change).
-  sim::Duration force_timeout = 400 * sim::kMillisecond;
+  host::Duration force_timeout = 400 * host::kMillisecond;
   // Max records per BufferBatch message.
   std::size_t max_batch = 64;
   // Byte-budget companion to max_batch: a batch is cut early once the
@@ -87,7 +87,7 @@ class CommBuffer {
   // when a force is abandoned. on_needs_snapshot(backup) fires when a backup
   // falls behind the GC watermark and must catch up via state transfer; the
   // owner is expected to serve it a snapshot (DESIGN.md §9).
-  CommBuffer(sim::Simulation& simulation, CommBufferOptions options,
+  CommBuffer(host::Host& hst, CommBufferOptions options,
              std::function<void(Mid, const BufferBatchMsg&)> send,
              std::function<void()> on_force_failed,
              std::function<void(Mid)> on_needs_snapshot = nullptr);
@@ -193,7 +193,7 @@ class CommBuffer {
   struct PendingForce {
     std::uint64_t ts;
     std::function<void(bool)> done;
-    sim::Time deadline;
+    host::Time deadline;
   };
 
   // Per-backup replication cursor.
@@ -204,9 +204,9 @@ class CommBuffer {
     // resends for the same hole until the ack advances past it — or until
     // gap_deadline passes, in case the resend itself was lost.
     std::uint64_t gap_resent_hi = 0;
-    sim::Time gap_deadline = 0;
+    host::Time gap_deadline = 0;
     // Ack deadline while records are in flight (0 = nothing outstanding).
-    sim::Time deadline = 0;
+    host::Time deadline = 0;
     // The backup's next needed record was garbage-collected: it is being
     // caught up via snapshot state transfer (on_needs_snapshot) and gets no
     // record sends, gap fills, or retransmissions until its ack re-enters
@@ -221,7 +221,7 @@ class CommBuffer {
     BatchEncoder encoder;
   };
 
-  void ScheduleFlush(sim::Duration delay);
+  void ScheduleFlush(host::Duration delay);
   void FlushNow();
   void SendTo(Mid backup);
   void SendRange(Mid backup, std::uint64_t lo, std::uint64_t hi);
@@ -234,7 +234,7 @@ class CommBuffer {
   void ArmRetransmitTimer();
   void CollectGarbage();
 
-  sim::Simulation& sim_;
+  host::Host& host_;
   CommBufferOptions options_;
   std::function<void(Mid, const BufferBatchMsg&)> send_;
   std::function<void()> on_force_failed_;
@@ -254,9 +254,9 @@ class CommBuffer {
   std::map<Mid, BackupState> state_;
   std::vector<PendingForce> forces_;
 
-  sim::TimerId flush_timer_ = sim::kNoTimer;
-  sim::TimerId retransmit_timer_ = sim::kNoTimer;
-  sim::TimerId force_check_timer_ = sim::kNoTimer;
+  host::TimerId flush_timer_ = host::kNoTimer;
+  host::TimerId retransmit_timer_ = host::kNoTimer;
+  host::TimerId force_check_timer_ = host::kNoTimer;
 
   Stats stats_;
 };

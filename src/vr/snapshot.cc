@@ -12,9 +12,9 @@ namespace vsr::vr {
 // ---------------------------------------------------------------------------
 
 SnapshotServer::SnapshotServer(
-    sim::Simulation& simulation, SnapshotTransferOptions options,
+    host::Host& hst, SnapshotTransferOptions options,
     std::function<void(Mid, const SnapshotChunkMsg&)> send)
-    : sim_(simulation), options_(options), send_(std::move(send)) {}
+    : host_(hst), options_(options), send_(std::move(send)) {}
 
 void SnapshotServer::StartView(ViewId viewid, GroupId group, Mid self) {
   Stop();
@@ -27,8 +27,8 @@ void SnapshotServer::StartView(ViewId viewid, GroupId group, Mid self) {
 void SnapshotServer::Stop() {
   active_ = false;
   transfers_.clear();
-  sim_.scheduler().Cancel(retransmit_timer_);
-  retransmit_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(retransmit_timer_);
+  retransmit_timer_ = host::kNoTimer;
 }
 
 void SnapshotServer::Serve(
@@ -75,7 +75,7 @@ void SnapshotServer::Pump(Mid backup, Transfer& t) {
     send_(backup, m);
   }
   t.deadline = t.sent > t.acked
-                   ? sim_.Now() + options_.retransmit_interval
+                   ? host_.Now() + options_.retransmit_interval
                    : 0;
 }
 
@@ -102,7 +102,7 @@ void SnapshotServer::OnAck(const SnapshotAckMsg& ack) {
   if (ack.offset > t.acked) {
     t.acked = ack.offset;
     if (t.sent < t.acked) t.sent = t.acked;
-    t.deadline = sim_.Now() + options_.retransmit_interval;
+    t.deadline = host_.Now() + options_.retransmit_interval;
     Pump(ack.from, t);
   } else if (ack.offset == 0 && t.acked > 0) {
     // The sink restarted from scratch (checksum reject): rewind.
@@ -114,23 +114,23 @@ void SnapshotServer::OnAck(const SnapshotAckMsg& ack) {
 }
 
 void SnapshotServer::ArmTimer() {
-  sim::Time next = 0;
+  host::Time next = 0;
   for (const auto& [mid, t] : transfers_) {
     if (t.deadline != 0 && (next == 0 || t.deadline < next)) {
       next = t.deadline;
     }
   }
-  sim_.scheduler().Cancel(retransmit_timer_);
-  retransmit_timer_ = sim::kNoTimer;
+  host_.timers().Cancel(retransmit_timer_);
+  retransmit_timer_ = host::kNoTimer;
   if (next == 0) return;
   retransmit_timer_ =
-      sim_.scheduler().At(next, [this] { CheckDeadlines(); });
+      host_.timers().At(next, [this] { CheckDeadlines(); });
 }
 
 void SnapshotServer::CheckDeadlines() {
-  retransmit_timer_ = sim::kNoTimer;
+  retransmit_timer_ = host::kNoTimer;
   if (!active_) return;
-  const sim::Time now = sim_.Now();
+  const host::Time now = host_.Now();
   for (auto& [backup, t] : transfers_) {
     if (t.deadline == 0 || t.deadline > now) continue;
     // Unacked chunks outlived their deadline: go-back-N from the ack.

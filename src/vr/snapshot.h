@@ -24,7 +24,7 @@
 #include <memory>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "host/host.h"
 #include "vr/messages.h"
 #include "vr/types.h"
 
@@ -37,7 +37,7 @@ struct SnapshotTransferOptions {
   std::size_t window = 8;
   // Per-backup ack deadline: unacked chunks past it trigger a go-back-N
   // resend from the acked offset (mirrors CommBuffer's record deadlines).
-  sim::Duration retransmit_interval = 20 * sim::kMillisecond;
+  host::Duration retransmit_interval = 20 * host::kMillisecond;
   // Sink side: if no chunk of an in-flight transfer arrives for this long,
   // the partial payload is discarded wholesale (all-or-nothing) and the
   // cohort stops answering view changes as crashed-equivalent. The serving
@@ -45,13 +45,13 @@ struct SnapshotTransferOptions {
   // it crashed or stood down; without this escape a mid-transfer primary
   // crash would leave the backup crashed-equivalent forever and could wedge
   // view formation permanently (§4's conditions).
-  sim::Duration install_abandon_timeout = 200 * sim::kMillisecond;
+  host::Duration install_abandon_timeout = 200 * host::kMillisecond;
 };
 
 class SnapshotServer {
  public:
   // send(to, chunk) transmits one chunk to one backup.
-  SnapshotServer(sim::Simulation& simulation, SnapshotTransferOptions options,
+  SnapshotServer(host::Host& hst, SnapshotTransferOptions options,
                  std::function<void(Mid, const SnapshotChunkMsg&)> send);
   ~SnapshotServer() { Stop(); }
   SnapshotServer(const SnapshotServer&) = delete;
@@ -93,14 +93,14 @@ class SnapshotServer {
     std::uint32_t checksum = 0;
     std::uint64_t acked = 0;  // cumulative contiguous bytes acknowledged
     std::uint64_t sent = 0;   // send cursor (bytes)
-    sim::Time deadline = 0;
+    host::Time deadline = 0;
   };
 
   void Pump(Mid backup, Transfer& t);
   void ArmTimer();
   void CheckDeadlines();
 
-  sim::Simulation& sim_;
+  host::Host& host_;
   SnapshotTransferOptions options_;
   std::function<void(Mid, const SnapshotChunkMsg&)> send_;
 
@@ -109,7 +109,7 @@ class SnapshotServer {
   GroupId group_ = 0;
   Mid self_ = 0;
   std::map<Mid, Transfer> transfers_;
-  sim::TimerId retransmit_timer_ = sim::kNoTimer;
+  host::TimerId retransmit_timer_ = host::kNoTimer;
   Stats stats_;
 };
 

@@ -1,3 +1,4 @@
+#include "sim/task.h"
 #include "workload/airline.h"
 
 namespace vsr::workload {

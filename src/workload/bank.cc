@@ -17,26 +17,26 @@ std::pair<std::string, long long> SplitAmount(const std::string& args) {
 
 }  // namespace
 
-void RegisterBankProcs(client::Cluster& cluster, vr::GroupId group) {
-  cluster.RegisterProc(
-      group, "open",
-      [](core::ProcContext& ctx) -> sim::Task<std::vector<std::uint8_t>> {
+void RegisterBankProcs(core::Cohort& cohort) {
+  cohort.RegisterProc(
+      "open",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
         auto [acct, amount] = SplitAmount(ctx.ArgsAsString());
         co_await ctx.Write(acct, std::to_string(amount));
         co_return Bytes("ok");
       });
-  cluster.RegisterProc(
-      group, "deposit",
-      [](core::ProcContext& ctx) -> sim::Task<std::vector<std::uint8_t>> {
+  cohort.RegisterProc(
+      "deposit",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
         auto [acct, amount] = SplitAmount(ctx.ArgsAsString());
         auto v = co_await ctx.ReadForUpdate(acct);
         const long long cur = v && !v->empty() ? std::stoll(*v) : 0;
         co_await ctx.Write(acct, std::to_string(cur + amount));
         co_return Bytes(std::to_string(cur + amount));
       });
-  cluster.RegisterProc(
-      group, "withdraw",
-      [](core::ProcContext& ctx) -> sim::Task<std::vector<std::uint8_t>> {
+  cohort.RegisterProc(
+      "withdraw",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
         auto [acct, amount] = SplitAmount(ctx.ArgsAsString());
         auto v = co_await ctx.ReadForUpdate(acct);
         const long long cur = v && !v->empty() ? std::stoll(*v) : 0;
@@ -46,12 +46,16 @@ void RegisterBankProcs(client::Cluster& cluster, vr::GroupId group) {
         co_await ctx.Write(acct, std::to_string(cur - amount));
         co_return Bytes(std::to_string(cur - amount));
       });
-  cluster.RegisterProc(
-      group, "balance",
-      [](core::ProcContext& ctx) -> sim::Task<std::vector<std::uint8_t>> {
+  cohort.RegisterProc(
+      "balance",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
         auto v = co_await ctx.Read(ctx.ArgsAsString());
         co_return Bytes(v.value_or("0"));
       });
+}
+
+void RegisterBankProcs(client::Cluster& cluster, vr::GroupId group) {
+  for (core::Cohort* c : cluster.Cohorts(group)) RegisterBankProcs(*c);
 }
 
 long long CommittedBankTotal(client::Cluster& cluster, vr::GroupId group,
@@ -69,7 +73,7 @@ long long CommittedBankTotal(client::Cluster& cluster, vr::GroupId group,
 core::TxnBody MakeDepositTxn(vr::GroupId bank, std::string acct,
                              long long amt) {
   return [bank, acct = std::move(acct),
-          amt](core::TxnHandle& h) -> sim::Task<bool> {
+          amt](core::TxnHandle& h) -> host::Task<bool> {
     co_await h.Call(bank, "deposit", acct + "=" + std::to_string(amt));
     co_return true;
   };
@@ -80,7 +84,7 @@ core::TxnBody MakeTransferTxn(vr::GroupId from_bank, std::string from_acct,
                               long long amt) {
   return [from_bank, from_acct = std::move(from_acct), to_bank,
           to_acct = std::move(to_acct),
-          amt](core::TxnHandle& h) -> sim::Task<bool> {
+          amt](core::TxnHandle& h) -> host::Task<bool> {
     // Withdraw first: if funds are short the call fails and the whole
     // transaction aborts atomically — the deposit never happens.
     co_await h.Call(from_bank, "withdraw",

@@ -18,6 +18,12 @@
 
 namespace vsr::workload {
 
+// Registers the bank procedures on one cohort — the host-agnostic form,
+// usable from any harness (all replicas of a module must carry identical
+// code, so call it on every member of the group).
+void RegisterBankProcs(core::Cohort& cohort);
+
+// Convenience: registers on every cohort of a simulated cluster's group.
 void RegisterBankProcs(client::Cluster& cluster, vr::GroupId group);
 
 // Sums the committed balances of accounts "a0".."a<n-1>" at the group's

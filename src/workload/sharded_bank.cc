@@ -1,3 +1,4 @@
+#include "sim/task.h"
 #include "workload/sharded_bank.h"
 
 #include <cstdio>
