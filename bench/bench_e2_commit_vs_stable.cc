@@ -13,6 +13,8 @@
 #include "baseline/nonreplicated.h"
 #include "baseline/nonreplicated_viewstamped.h"
 #include "bench/bench_common.h"
+#include "client/shard_router.h"
+#include "workload/sharded_bank.h"
 
 namespace vsr {
 namespace {
@@ -132,6 +134,89 @@ void ReplicationEfficiency(std::size_t replicas) {
              static_cast<unsigned long long>(agg.buffer_high_water));
 }
 
+// Commit-fusion ablation (DESIGN.md §13): identical cross-shard transfer
+// workloads with commit_fusion on and off. The fused path reports the
+// decision at committing-buffer time and overlaps the decision force with
+// the commit fan-out, so the client-visible path contains one fewer force
+// and one fewer sequential round; total message count stays ~equal (the
+// same frames are sent, just off the latency path).
+struct FusionResult {
+  double decision_us = -1;
+  double frames_per_commit = 0;
+  double client_path_forces_per_commit = 0;
+  std::uint64_t committed = 0;
+};
+
+FusionResult FusionAblation(bool fusion) {
+  FusionResult out;
+  ClusterOptions opts;
+  opts.seed = 2200;  // identical worlds; only the fusion flag differs
+  opts.cohort.commit_fusion = fusion;
+  Cluster cluster(opts);
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 12);
+  cluster.Start();
+  if (!cluster.RunUntilStable()) return out;
+  if (workload::FundShardedAccounts(cluster, bank, 1000) != 12) return out;
+  cluster.RunFor(1 * sim::kSecond);
+
+  // Snapshot after funding so the single-shard funding txns don't pollute
+  // the per-commit arithmetic.
+  const std::uint64_t frames_before = cluster.network().stats().frames_sent;
+  std::uint64_t coord_committed_before = 0, fused_before = 0;
+  for (auto* c : cluster.Cohorts(bank.client_group)) {
+    coord_committed_before += c->stats().txns_committed;
+    fused_before += c->stats().fused_commits;
+  }
+
+  client::ShardRouter router(cluster.directory());
+  sim::Rng rng(5);
+  const int txns = bench::Scaled(150);
+  workload::LatencyRecorder decision;
+  for (int i = 0; i < txns; ++i) {
+    core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+    if (coord == nullptr) break;
+    const int from = static_cast<int>(rng.Index(6));
+    const int to = 6 + static_cast<int>(rng.Index(6));
+    bool done = false;
+    const sim::Time start = cluster.sim().Now();
+    coord->SpawnTransaction(
+        workload::MakeShardedTransferTxn(
+            router, workload::ShardAccountName(from),
+            workload::ShardAccountName(to), 1),
+        [&](vr::TxnOutcome o) {
+          done = true;
+          if (o == vr::TxnOutcome::kCommitted) {
+            ++out.committed;
+            decision.Add(cluster.sim().Now() - start);
+          }
+        });
+    const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+    while (!done && cluster.sim().Now() < deadline) {
+      cluster.RunFor(1 * sim::kMillisecond);
+    }
+  }
+  cluster.RunFor(2 * sim::kSecond);  // let background fan-outs finish
+
+  if (out.committed == 0) return out;
+  out.decision_us = decision.Mean();
+  out.frames_per_commit =
+      static_cast<double>(cluster.network().stats().frames_sent -
+                          frames_before) /
+      static_cast<double>(out.committed);
+  std::uint64_t coord_committed = 0, fused = 0;
+  for (auto* c : cluster.Cohorts(bank.client_group)) {
+    coord_committed += c->stats().txns_committed;
+    fused += c->stats().fused_commits;
+  }
+  // A commit whose decision was NOT fused awaited the committing-record
+  // force inside the client-visible path.
+  out.client_path_forces_per_commit =
+      static_cast<double>((coord_committed - coord_committed_before) -
+                          (fused - fused_before)) /
+      static_cast<double>(out.committed);
+  return out;
+}
+
 double StableDecisionLatency(sim::Duration force_latency) {
   sim::Simulation simulation(2999);
   net::Network network(simulation, {});
@@ -212,6 +297,39 @@ int main() {
     bench::Row("    disk (10ms), conventional: %8.0fus  ->  %.1fx faster at",
                plain_disk, vs_disk > 0 ? plain_disk / vs_disk : 0.0);
     bench::Row("    prepare+commit, exactly the paper's 'faster at prepare time'");
+  }
+
+  bench::Row("\n  Commit fusion ablation (DESIGN.md §13) — cross-shard transfers,");
+  bench::Row("  2 shards x 3 replicas, identical worlds, fused vs serial 2PC:");
+  {
+    const FusionResult fused = FusionAblation(true);
+    const FusionResult serial = FusionAblation(false);
+    bench::Row("    fused  : decision %8.0fus  %.1f frames/commit  %.2f client-path forces/commit (%llu txns)",
+               fused.decision_us, fused.frames_per_commit,
+               fused.client_path_forces_per_commit,
+               static_cast<unsigned long long>(fused.committed));
+    bench::Row("    serial : decision %8.0fus  %.1f frames/commit  %.2f client-path forces/commit (%llu txns)",
+               serial.decision_us, serial.frames_per_commit,
+               serial.client_path_forces_per_commit,
+               static_cast<unsigned long long>(serial.committed));
+    if (fused.decision_us > 0 && serial.decision_us > 0) {
+      bench::Row("    -> fusion removes %.0fus (%.1f%%) from the client-visible",
+                 serial.decision_us - fused.decision_us,
+                 100.0 * (serial.decision_us - fused.decision_us) /
+                     serial.decision_us);
+      bench::Row("    decision path: the committing force and the commit fan-out");
+      bench::Row("    ride behind the reply instead of ahead of it.");
+    }
+    bench::Metric("fused_decision_us", fused.decision_us);
+    bench::Metric("serial_decision_us", serial.decision_us);
+    bench::Metric("fused_frames_per_commit", fused.frames_per_commit);
+    bench::Metric("serial_frames_per_commit", serial.frames_per_commit);
+    bench::Metric("fused_client_path_forces_per_commit",
+                  fused.client_path_forces_per_commit);
+    bench::Metric("serial_client_path_forces_per_commit",
+                  serial.client_path_forces_per_commit);
+    bench::Metric("fusion_committed", static_cast<double>(fused.committed));
+    bench::Metric("serial_committed", static_cast<double>(serial.committed));
   }
 
   bench::Row("\n  Expect: VR's decision latency is a couple of network round");

@@ -19,8 +19,9 @@
 #
 # CHECK_REAL_HOST=1 builds a ThreadSanitizer tree (build-tsan/) and runs the
 # genuinely multithreaded code — host conformance + the socket-host
-# integration smoke (3 replicas over real TCP loopback, primary kill) —
-# under it, plus a plain-build vrd run.
+# integration smokes (3 replicas over real TCP loopback with a primary kill,
+# and cross-group fused 2PC, DESIGN.md §13) — under it, plus a plain-build
+# vrd run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,6 +87,8 @@ fi
 if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
   echo "== soak (dead backup, GC bound) =="
   CHECK_SOAK=1 build/tests/soak_test --gtest_filter='DeadBackupSoak.*'
+  echo "== soak (fused commits under coordinator crashes) =="
+  CHECK_SOAK=1 build/tests/soak_test --gtest_filter='CommitFusionCrashSoak.*'
   echo "== soak (majority-loss storms, durable-log recovery) =="
   CHECK_SOAK=1 build/tests/recovery_test --gtest_filter='StormSoak.*'
 fi
@@ -110,6 +113,16 @@ for b in build/bench/bench_e*; do
   id="$(basename "$b" | sed -E 's/^bench_(e[0-9]+).*/\U\1/')"
   if [[ ! -s "BENCH_${id}.json" ]]; then
     echo "FAIL: $(basename "$b") did not write BENCH_${id}.json" >&2
+    exit 1
+  fi
+done
+# The E2 commit-fusion ablation (DESIGN.md §13) must have produced both
+# sides of the fused-vs-serial comparison.
+for key in fused_decision_us serial_decision_us \
+           fused_client_path_forces_per_commit \
+           serial_client_path_forces_per_commit; do
+  if ! grep -q "\"${key}\"" BENCH_E2.json; then
+    echo "FAIL: BENCH_E2.json is missing the fusion-ablation metric ${key}" >&2
     exit 1
   fi
 done

@@ -125,6 +125,7 @@ void Cohort::ResetVolatileState() {
   rejoin_pending_ = false;
   call_dedup_.clear();
   prepared_.clear();
+  pending_commits_.clear();
   querying_.clear();
   txn_activity_.clear();
   dead_subs_by_txn_.clear();

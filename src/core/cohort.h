@@ -207,6 +207,19 @@ struct CohortStats {
   std::uint64_t txns_committed = 0;  // as coordinator
   std::uint64_t txns_aborted = 0;    // as coordinator
   std::uint64_t txns_unknown = 0;    // coordinator lost its group mid-commit
+  // Fused commit path (DESIGN.md §13). As coordinator: transactions whose
+  // outcome was reported at committing-record buffer time, with the decision
+  // force and commit fan-out overlapped in background, and how many of those
+  // background forces were abandoned (view change — the decision then
+  // resolves through the replicated record or §3.4 queries, never silently).
+  std::uint64_t fused_commits = 0;
+  std::uint64_t fused_decision_forces_failed = 0;
+  // As participant: commit decisions that arrived while a (re)transmitted
+  // prepare was still forcing, stashed and applied after it resolved instead
+  // of racing it, and prepares answered "prepared" because the post-force
+  // re-check found the commit had already landed.
+  std::uint64_t commits_stashed_during_prepare = 0;
+  std::uint64_t prepares_overtaken_by_commit = 0;
   std::uint64_t subaction_retries = 0;
   std::uint64_t view_changes_started = 0;   // became manager
   std::uint64_t view_changes_completed = 0; // entered a new active view
@@ -470,6 +483,9 @@ class Cohort : public net::FrameHandler {
   host::Task<void> RunPrepare(vr::PrepareMsg m);
   void OnCommit(const vr::CommitMsg& m);
   host::Task<void> RunCommit(vr::CommitMsg m);
+  // Applies a commit decision stashed while a prepare for `aid` was in
+  // flight (fused pipeline, DESIGN.md §13).
+  void DrainPendingCommit(Aid aid);
   void OnAbort(const vr::AbortMsg& m);
   void OnAbortSub(const vr::AbortSubMsg& m);
   void LocalAbortTxn(Aid aid);
@@ -506,10 +522,14 @@ class Cohort : public net::FrameHandler {
   struct PrepareJoin;
   host::Task<void> PrepareOne(Aid aid, Pset pset, GroupId g,
                              std::shared_ptr<PrepareJoin> join);
-  host::Task<void> FinishCommitPhase(Aid aid, std::vector<GroupId> plist);
+  // Phase two. `decision_vs` is the committing record's viewstamp; `fused`
+  // makes the decision force run here, overlapped with the commit fan-out,
+  // instead of ahead of the client reply (DESIGN.md §13).
+  host::Task<void> FinishCommitPhase(Aid aid, std::vector<GroupId> plist,
+                                    Viewstamp decision_vs, bool fused);
   struct CommitJoin;
-  host::Task<void> CommitOne(Aid aid, GroupId g,
-                            std::shared_ptr<CommitJoin> join);
+  host::Task<void> CommitOne(Aid aid, GroupId g, Viewstamp decision_vs,
+                            bool fused, std::shared_ptr<CommitJoin> join);
   host::Task<void> AbortEverywhere(Aid aid, Pset pset,
                                   std::vector<GroupId> extra_groups = {});
   void OnBeginTxn(const vr::BeginTxnMsg& m);
@@ -669,6 +689,11 @@ class Cohort : public net::FrameHandler {
   std::set<Aid> prepared_;                          // blocked-txn query targets
   std::set<Aid> preparing_;                         // prepare force in flight
   std::set<Aid> querying_;                          // resolution in flight
+  // Fused pipeline (DESIGN.md §13): a commit decision that arrives while a
+  // (re)transmitted prepare for the same transaction is mid-force is stashed
+  // here and applied when the prepare resolves — sequencing the two instead
+  // of letting the commit race the prepare's post-force bookkeeping.
+  std::map<Aid, vr::CommitMsg> pending_commits_;
   // Last time each lock-holding transaction showed activity here; feeds the
   // idle-transaction janitor (§3.4 queries).
   std::map<Aid, host::Time> txn_activity_;

@@ -801,6 +801,10 @@ host::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
       outcomes_.Lookup(m.aid) == TxnOutcome::kCommitted) {
     r.status = vr::PrepareStatus::kPrepared;
     r.read_only = !store_.HasWriteLocks(m.aid);
+    // The originally forced watermark is not retained; the buffer tail
+    // covers it (everything durable here is <= last_ts).
+    r.prepared_vs =
+        Viewstamp{cur_viewid_, buffer_.active() ? buffer_.last_ts() : 0};
     ++stats_.duplicate_prepares_answered;
     SendMsg(m.reply_to, r);
     co_return;
@@ -854,20 +858,45 @@ host::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
     co_return;
   }
 
+  // Fused pipeline (DESIGN.md §13): while the force above was suspended, a
+  // commit decision may already have been applied here — a query resolution,
+  // or an overlapped fan-out racing a retransmitted prepare. The decision is
+  // final and system-wide: answer prepared idempotently and do NOT re-insert
+  // the transaction into prepared_ or touch its state — CommitLocally
+  // already installed the versions and released the locks, and a re-insert
+  // would resurrect a dead blocked-txn query target.
+  if (outcomes_.Lookup(m.aid) == TxnOutcome::kCommitted) {
+    ++stats_.prepares_overtaken_by_commit;
+    r.status = vr::PrepareStatus::kPrepared;
+    r.read_only = read_only;
+    r.prepared_vs = vsm ? *vsm : Viewstamp{};
+    SendMsg(m.reply_to, r);
+    // A duplicate of the decision may have been stashed mid-force; running
+    // it re-sends the done ack the coordinator is waiting for.
+    DrainPendingCommit(m.aid);
+    co_return;
+  }
+
   // "release read locks held by the transaction, and then reply prepared."
   store_.ReleaseReadLocks(m.aid);
   r.status = vr::PrepareStatus::kPrepared;
   r.read_only = read_only;
+  // Piggyback the forced record identity on the ack (one message carries
+  // both the prepared answer and the completed-call record's viewstamp).
+  r.prepared_vs = vsm ? *vsm : Viewstamp{};
   ++stats_.prepares_ok;
   txn_activity_[m.aid] = host_.Now();
   if (read_only) {
     // "If the transaction is read-only, add a <'committed', aid> record."
-    AddRecord(vr::EventRecord::Committed(m.aid));
+    r.prepared_vs = AddRecord(vr::EventRecord::Committed(m.aid));
     store_.Commit(m.aid);
   } else {
     prepared_.insert(m.aid);
   }
   SendMsg(m.reply_to, r);
+  // A commit decision that arrived mid-force was stashed rather than run
+  // concurrently with this prepare; apply it now that the prepare resolved.
+  DrainPendingCommit(m.aid);
 }
 
 void Cohort::PruneDedup(Aid aid) {
@@ -880,6 +909,7 @@ void Cohort::CommitLocally(Aid aid) {
   store_.Commit(aid);
   outcomes_.RecordCommitted(aid);
   prepared_.erase(aid);
+  pending_commits_.erase(aid);
   txn_activity_.erase(aid);
   dead_subs_by_txn_.erase(aid);
   PruneDedup(aid);
@@ -900,7 +930,27 @@ void Cohort::OnCommit(const vr::CommitMsg& m) {
     SendMsg(m.reply_to, r);
     return;
   }
+  // A (re)transmitted prepare for this transaction is mid-force. With the
+  // fused fan-out this interleaving is routine — the decision can reach us
+  // while a duplicate prepare is still suspended — so sequence the commit
+  // behind the prepare (DrainPendingCommit at its resolution) instead of
+  // letting two coroutines race over the transaction's bookkeeping.
+  if (preparing_.count(m.aid) != 0) {
+    ++stats_.commits_stashed_during_prepare;
+    pending_commits_[m.aid] = m;  // latest transmission wins
+    return;
+  }
   tasks_.Spawn(RunCommit(m));
+}
+
+void Cohort::DrainPendingCommit(Aid aid) {
+  auto it = pending_commits_.find(aid);
+  if (it == pending_commits_.end()) return;
+  vr::CommitMsg m = std::move(it->second);
+  pending_commits_.erase(it);
+  if (IsActivePrimary()) tasks_.Spawn(RunCommit(std::move(m)));
+  // Not primary anymore: drop it — the coordinator's CommitOne retries at
+  // the new primary, and §3.4 queries resolve any transaction it misses.
 }
 
 host::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
@@ -937,6 +987,7 @@ void Cohort::LocalAbortTxn(Aid aid) {
   if (outcomes_.Lookup(aid) == TxnOutcome::kCommitted) return;
   store_.Abort(aid);
   prepared_.erase(aid);
+  pending_commits_.erase(aid);
   txn_activity_.erase(aid);
   dead_subs_by_txn_.erase(aid);
   PruneDedup(aid);

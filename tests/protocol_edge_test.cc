@@ -9,7 +9,10 @@
 
 #include <array>
 
+#include "check/invariants.h"
+#include "client/shard_router.h"
 #include "tests/test_util.h"
+#include "workload/driver.h"
 #include "workload/sharded_bank.h"
 
 namespace vsr {
@@ -600,6 +603,294 @@ TEST(Prepare, ViewChangeInOneShardRefusesPrepareAndAbortsEverywhere) {
   cluster.RunFor(1 * sim::kSecond);
   EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 95);
   EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a005"), 105);
+}
+
+// -- commit fusion (DESIGN.md §13) -----------------------------------------
+
+namespace {
+
+std::vector<std::string> BankAccounts(int n) {
+  std::vector<std::string> accounts;
+  for (int i = 0; i < n; ++i) {
+    accounts.push_back(workload::ShardAccountName(i));
+  }
+  return accounts;
+}
+
+core::CohortStats SumStats(client::Cluster& cluster, vr::GroupId g) {
+  core::CohortStats sum;
+  for (auto* c : cluster.Cohorts(g)) {
+    const auto& s = c->stats();
+    sum.fused_commits += s.fused_commits;
+    sum.duplicate_prepares_answered += s.duplicate_prepares_answered;
+    sum.commits_stashed_during_prepare += s.commits_stashed_during_prepare;
+    sum.prepares_overtaken_by_commit += s.prepares_overtaken_by_commit;
+    sum.commits_applied += s.commits_applied;
+    sum.queries_resolved += s.queries_resolved;
+  }
+  return sum;
+}
+
+}  // namespace
+
+// Ablation parity: the fused path and the classic serial ladder must agree
+// on every observable outcome of a cross-shard transfer workload — exact
+// conservation, no stranded locks — while only the fused run reports
+// decisions at committing-buffer time.
+TEST(CommitFusion, FusedAndSerialPathsAgreeOnCrossShardTransfers) {
+  for (bool fusion : {true, false}) {
+    ClusterOptions opts;
+    opts.seed = 98;
+    opts.cohort.commit_fusion = fusion;
+    Cluster cluster(opts);
+    auto bank = workload::SetupShardedBank(cluster, 2, 3, 12);
+    cluster.Start();
+    ASSERT_TRUE(cluster.RunUntilStable());
+    ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 100), 12);
+
+    client::ShardRouter router(cluster.directory());
+    sim::Rng rng(11);
+    workload::DriverOptions dopts;
+    dopts.total_txns = 30;
+    dopts.max_inflight = 3;
+    dopts.retries_per_txn = 10;
+    workload::ClosedLoopDriver driver(
+        cluster, bank.client_group,
+        [&](std::uint64_t) {
+          // Always cross-shard: shard 0 holds a000..a005, shard 1 the rest.
+          const int from = static_cast<int>(rng.Index(6));
+          const int to = 6 + static_cast<int>(rng.Index(6));
+          return workload::MakeShardedTransferTxn(
+              router, workload::ShardAccountName(from),
+              workload::ShardAccountName(to), 2);
+        },
+        dopts);
+    ASSERT_TRUE(driver.Run()) << "fusion=" << fusion;
+    cluster.RunFor(2 * sim::kSecond);
+
+    EXPECT_GT(driver.accounting().committed, 0u) << "fusion=" << fusion;
+    EXPECT_EQ(driver.accounting().unknown, 0u) << "fusion=" << fusion;
+    EXPECT_TRUE(
+        check::CheckConservation(cluster, BankAccounts(12), 1200).empty())
+        << "fusion=" << fusion;
+    for (auto g : bank.shards) {
+      EXPECT_TRUE(check::CheckQuiescent(cluster, g).empty())
+          << "fusion=" << fusion;
+    }
+    const auto coord = SumStats(cluster, bank.client_group);
+    if (fusion) {
+      EXPECT_GE(coord.fused_commits, driver.accounting().committed);
+    } else {
+      EXPECT_EQ(coord.fused_commits, 0u);
+    }
+  }
+}
+
+// Matrix row 1 (DESIGN.md §13.4): the coordinator crashes after buffering
+// the committing record but before ANY commit message reaches a participant.
+// The client was already told kCommitted (fused report-at-buffer), so the
+// replicated committing record is the only copy of the decision — the
+// coordinator's backups must answer the participants' §3.4/§3.6 queries
+// with "committed" after the view change, and money must move exactly once.
+TEST(CommitFusion, CoordinatorCrashBeforeCommitFanoutResolvesCommitted) {
+  Cluster cluster(ClusterOptions{.seed = 99});
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 8);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 100), 8);
+
+  core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+  ASSERT_NE(coord, nullptr);
+  const vr::ViewId coord_view = coord->cur_viewid();
+  // Deterministic "no commit message is ever sent": the fused decision is
+  // buffered and force-replicated, but CommitOne's send loop never runs.
+  coord->mutable_options().commit_attempts = 0;
+
+  client::ShardRouter router(cluster.directory());
+  vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  bool done = false;
+  coord->SpawnTransaction(
+      workload::MakeShardedTransferTxn(router, "a000", "a004", 7),
+      [&](vr::TxnOutcome o) {
+        outcome = o;
+        done = true;
+      });
+  const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+  while (!done && cluster.sim().Now() < deadline) {
+    cluster.RunFor(100 * sim::kMicrosecond);
+  }
+  ASSERT_TRUE(done);
+  // Fused: committed is reported at buffer time, before any participant
+  // has heard the decision.
+  EXPECT_EQ(outcome, vr::TxnOutcome::kCommitted);
+  EXPECT_EQ(coord->stats().fused_commits, 1u);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 100);
+
+  // Let the decision force reach the coordinator's backups, then kill it.
+  cluster.RunFor(2 * sim::kMillisecond);
+  coord->Crash();
+
+  // Participants hold prepared transactions with no coordinator primary.
+  // Their janitors query; the coordinator group view-changes; the new
+  // primary answers from the replicated committing record.
+  const sim::Time resolve_deadline = cluster.sim().Now() + 30 * sim::kSecond;
+  while (cluster.sim().Now() < resolve_deadline &&
+         workload::ShardedCommittedBalance(cluster, "a004") != 107) {
+    cluster.RunFor(50 * sim::kMillisecond);
+  }
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 93);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a004"), 107);
+  EXPECT_TRUE(check::CheckConservation(cluster, BankAccounts(8), 800).empty());
+
+  // The balances can resolve before the coordinator group finishes its view
+  // change (backups answer queries from the replicated record directly);
+  // wait for the new view separately.
+  core::Cohort* new_coord = nullptr;
+  const sim::Time view_deadline = cluster.sim().Now() + 20 * sim::kSecond;
+  while (new_coord == nullptr && cluster.sim().Now() < view_deadline) {
+    cluster.RunFor(100 * sim::kMillisecond);
+    new_coord = cluster.AnyPrimary(bank.client_group);
+  }
+  ASSERT_NE(new_coord, nullptr);
+  EXPECT_GT(new_coord->cur_viewid(), coord_view);
+  std::uint64_t resolved = 0;
+  for (auto g : bank.shards) resolved += SumStats(cluster, g).queries_resolved;
+  EXPECT_GE(resolved, 1u);
+  // No participant orphans a prepared transaction (§3.6).
+  for (auto g : bank.shards) {
+    for (auto* c : cluster.Cohorts(g)) {
+      EXPECT_TRUE(c->objects().ActiveTxns().empty())
+          << "cohort " << c->mid() << " holds orphaned transactions";
+    }
+  }
+}
+
+// Matrix row 2 (DESIGN.md §13.4): the coordinator crashes mid-fan-out —
+// one participant received the commit, the other never will. The crash of
+// the shard-1 primary is staged inside on_done, which runs in the same
+// instant the decision is made, so the commit frame to shard 1 is still in
+// flight (min one-way delay 100us) and is dropped at delivery; shard 0's
+// copy lands normally. Shard 1 must then resolve through its own view
+// change plus §3.4 queries against the coordinator's new view.
+TEST(CommitFusion, CoordinatorCrashMidFanoutNeverOrphansPrepared) {
+  Cluster cluster(ClusterOptions{.seed = 100});
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 8);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 8), 8);
+
+  core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+  core::Cohort* b_primary = cluster.AnyPrimary(bank.shards[1]);
+  ASSERT_NE(coord, nullptr);
+  ASSERT_NE(b_primary, nullptr);
+  std::size_t b_idx = 0;
+  {
+    auto cohorts = cluster.Cohorts(bank.shards[1]);
+    for (std::size_t i = 0; i < cohorts.size(); ++i) {
+      if (cohorts[i] == b_primary) b_idx = i;
+    }
+  }
+
+  client::ShardRouter router(cluster.directory());
+  vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  bool done = false;
+  coord->SpawnTransaction(
+      workload::MakeShardedTransferTxn(router, "a000", "a004", 3),
+      [&](vr::TxnOutcome o) {
+        outcome = o;
+        done = true;
+        // Same-instant crash: the commit frame addressed to this primary is
+        // in flight and will be dropped at delivery (receiver down).
+        b_primary->Crash();
+      });
+  const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+  while (!done && cluster.sim().Now() < deadline) {
+    cluster.RunFor(100 * sim::kMicrosecond);
+  }
+  ASSERT_TRUE(done);
+  EXPECT_EQ(outcome, vr::TxnOutcome::kCommitted);
+
+  // Shard 0's commit copy lands; then the coordinator primary dies before
+  // any retransmission to shard 1 can fire.
+  cluster.RunFor(2 * sim::kMillisecond);
+  coord->Crash();
+
+  const sim::Time resolve_deadline = cluster.sim().Now() + 40 * sim::kSecond;
+  while (cluster.sim().Now() < resolve_deadline &&
+         workload::ShardedCommittedBalance(cluster, "a004") != 11) {
+    cluster.RunFor(50 * sim::kMillisecond);
+  }
+  // The prepared transaction at shard 1 survived its primary's crash (the
+  // prepare force put it on a sub-majority of backups) and resolved to
+  // committed — exactly once, on both legs.
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 5);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a004"), 11);
+  EXPECT_TRUE(check::CheckConservation(cluster, BankAccounts(8), 64).empty());
+  for (auto g : bank.shards) {
+    for (auto* c : cluster.Cohorts(g)) {
+      EXPECT_TRUE(c->objects().ActiveTxns().empty())
+          << "cohort " << c->mid() << " holds orphaned transactions";
+    }
+  }
+
+  // The crashed shard-1 primary rejoins cleanly behind the commit.
+  cluster.Recover(bank.shards[1], b_idx);
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(3 * sim::kSecond);
+  EXPECT_TRUE(check::CheckConservation(cluster, BankAccounts(8), 64).empty());
+}
+
+// Satellite idempotence audit: with every frame duplicated and some lost,
+// retransmitted prepares race their own commits. The participant must
+// answer duplicate prepares idempotently, stash commit decisions that
+// arrive while a (re)transmitted prepare is mid-force, and never apply a
+// commit twice — proven by exact conservation over the whole run.
+TEST(CommitFusion, DuplicatedLossyNetworkKeepsFusedCommitsExactlyOnce) {
+  ClusterOptions opts;
+  opts.seed = 103;
+  opts.net.duplicate_probability = 0.6;
+  opts.net.loss_probability = 0.05;
+  Cluster cluster(opts);
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 12);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 100), 12);
+
+  client::ShardRouter router(cluster.directory());
+  sim::Rng rng(23);
+  workload::DriverOptions dopts;
+  dopts.total_txns = 40;
+  dopts.max_inflight = 4;
+  dopts.retries_per_txn = 10;
+  workload::ClosedLoopDriver driver(
+      cluster, bank.client_group,
+      [&](std::uint64_t) {
+        const int from = static_cast<int>(rng.Index(6));
+        const int to = 6 + static_cast<int>(rng.Index(6));
+        return workload::MakeShardedTransferTxn(
+            router, workload::ShardAccountName(from),
+            workload::ShardAccountName(to), 2);
+      },
+      dopts);
+  ASSERT_TRUE(driver.Run());
+  cluster.RunFor(3 * sim::kSecond);
+
+  EXPECT_GT(driver.accounting().committed, 0u);
+  EXPECT_TRUE(
+      check::CheckConservation(cluster, BankAccounts(12), 1200).empty());
+  for (auto g : bank.shards) {
+    EXPECT_TRUE(check::CheckQuiescent(cluster, g).empty());
+  }
+  core::CohortStats shard_sum;
+  for (auto g : bank.shards) {
+    const auto s = SumStats(cluster, g);
+    shard_sum.duplicate_prepares_answered += s.duplicate_prepares_answered;
+    shard_sum.commits_stashed_during_prepare +=
+        s.commits_stashed_during_prepare;
+    shard_sum.prepares_overtaken_by_commit += s.prepares_overtaken_by_commit;
+  }
+  // The dup/loss mix must actually exercise the idempotence paths.
+  EXPECT_GT(shard_sum.duplicate_prepares_answered, 0u);
 }
 
 }  // namespace

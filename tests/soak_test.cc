@@ -9,7 +9,9 @@
 
 #include "check/invariants.h"
 #include "check/serial.h"
+#include "client/shard_router.h"
 #include "tests/test_util.h"
+#include "workload/sharded_bank.h"
 
 namespace vsr {
 namespace {
@@ -284,6 +286,121 @@ TEST(DeadBackupSoak, ResidentRecordsStayWithinWindow) {
   for (const std::string& v : check::CheckQuiescent(cluster, kv)) {
     ADD_FAILURE() << v;
   }
+}
+
+// DESIGN.md §13 crash soak: the fused commit path reports kCommitted at
+// committing-buffer time and overlaps the decision force with the commit
+// fan-out — so a coordinator-primary crash can land in every window the
+// serial ladder never exposed (decision buffered but not yet replicated,
+// replicated but no commit sent, fan-out half delivered). This soak
+// repeatedly crashes coordinator and shard primaries mid-stream on a
+// duplicating, lossy network and then demands EXACT conservation: every
+// cross-shard transfer moved money atomically, exactly once or not at all.
+// CHECK_SOAK=1 multiplies the rounds ~10x.
+TEST(CommitFusionCrashSoak, ExactConservationAcrossCoordinatorCrashes) {
+  const char* soak_env = std::getenv("CHECK_SOAK");
+  const bool long_run = soak_env != nullptr && soak_env[0] == '1';
+  const int rounds = long_run ? 800 : 80;
+
+  ClusterOptions opts;
+  opts.seed = 108;
+  opts.net.loss_probability = 0.02;
+  opts.net.duplicate_probability = 0.3;
+  Cluster cluster(opts);
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 10);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 50), 10);
+
+  sim::Rng rng(opts.seed * 7919 + 3);
+  client::ShardRouter router(cluster.directory());
+  std::map<vr::GroupId, std::vector<core::Cohort*>> groups;
+  for (auto g : bank.shards) groups[g] = cluster.Cohorts(g);
+  groups[bank.client_group] = cluster.Cohorts(bank.client_group);
+
+  auto safe_to_crash = [&](vr::GroupId g, core::Cohort* victim) {
+    core::Cohort* primary = cluster.AnyPrimary(g);
+    if (primary == nullptr) return false;
+    std::size_t healthy = 0;
+    for (auto* c : groups[g]) {
+      if (c != victim && c->status() == core::Status::kActive &&
+          c->up_to_date() && c->cur_viewid() == primary->cur_viewid()) {
+        ++healthy;
+      }
+    }
+    return healthy >= vr::MajorityOf(groups[g].size());
+  };
+
+  int spawned = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t dice = rng.UniformInt(0, 99);
+    if (dice < 60) {
+      core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+      if (coord != nullptr) {
+        const int from = static_cast<int>(rng.Index(5));
+        const int to = 5 + static_cast<int>(rng.Index(5));
+        coord->SpawnTransaction(
+            workload::MakeShardedTransferTxn(
+                router, workload::ShardAccountName(from),
+                workload::ShardAccountName(to), 1),
+            [](vr::TxnOutcome) {});
+        ++spawned;
+      }
+    } else if (dice < 78) {
+      // Crash the coordinator primary by preference — that is the node
+      // whose loss tests the fused decision's durability story — else
+      // recover whoever is down.
+      const vr::GroupId g = dice < 72 ? bank.client_group
+                                      : bank.shards[dice % bank.shards.size()];
+      core::Cohort* primary = cluster.AnyPrimary(g);
+      if (primary != nullptr && safe_to_crash(g, primary)) {
+        primary->Crash();
+      } else {
+        for (auto* c : groups[g]) {
+          if (c->status() == core::Status::kCrashed) {
+            c->Recover();
+            break;
+          }
+        }
+      }
+    } else if (dice < 85) {
+      for (auto* c : groups[bank.client_group]) {
+        if (c->status() == core::Status::kCrashed) {
+          c->Recover();
+          break;
+        }
+      }
+    }
+    cluster.RunFor(rng.UniformInt(5, 60) * sim::kMillisecond);
+  }
+
+  // Quiesce: recover everyone, let janitors resolve every in-doubt txn.
+  for (auto& [g, cs] : groups) {
+    for (auto* c : cs) {
+      if (c->status() == core::Status::kCrashed) c->Recover();
+    }
+  }
+  ASSERT_TRUE(cluster.RunUntilStable());
+  cluster.RunFor(20 * sim::kSecond);
+
+  ASSERT_GT(spawned, 0);
+  std::vector<std::string> accounts;
+  for (int i = 0; i < 10; ++i) {
+    accounts.push_back(workload::ShardAccountName(i));
+  }
+  for (const std::string& v :
+       check::CheckConservation(cluster, accounts, 500)) {
+    ADD_FAILURE() << v;
+  }
+  for (auto& [g, cs] : groups) {
+    for (const std::string& v : check::CheckQuiescent(cluster, g)) {
+      ADD_FAILURE() << v;
+    }
+  }
+  // The soak must actually exercise the fused path.
+  std::uint64_t fused = 0;
+  for (auto* c : groups[bank.client_group]) fused += c->stats().fused_commits;
+  EXPECT_GT(fused, 0u);
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 // Wall-clock, nondeterministic by design: NOT part of the digest suites.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "host/loopback.h"
 #include "workload/bank.h"
@@ -91,6 +93,92 @@ TEST(SocketHost, ThreeReplicaGroupCommitsAndSurvivesPrimaryKill) {
     }
   });
   EXPECT_EQ(total, kAccounts * kOpening + kTxns);
+
+  cluster.Shutdown();
+}
+
+// Commit fusion (DESIGN.md §13) on the real host: genuine cross-group 2PC —
+// two 3-replica bank groups plus a coordinator — over TCP loopback with
+// commit_fusion at its default (on). Every transfer is a two-participant
+// transaction, so every commit takes the fused path: decision reported at
+// committing-buffer time, decision force and commit fan-out overlapped on
+// real threads. The invariant is exact conservation across both groups,
+// plus a primary kill mid-stream to prove the fused windows survive
+// fail-stop under TSan.
+TEST(SocketHost, CrossGroupFusedCommitsConserveMoneyAcrossPrimaryKill) {
+  constexpr int kTxns = 400;
+  constexpr long long kOpening = 1000;
+
+  host::LoopbackCluster cluster;
+  const vr::GroupId bank_a = cluster.AddGroup("bank-a", 3);
+  const vr::GroupId bank_b = cluster.AddGroup("bank-b", 3);
+  const vr::GroupId client = cluster.AddGroup("client", 1);
+  for (core::Cohort* c : cluster.Cohorts(bank_a)) {
+    workload::RegisterBankProcs(*c);
+  }
+  for (core::Cohort* c : cluster.Cohorts(bank_b)) {
+    workload::RegisterBankProcs(*c);
+  }
+  cluster.Start();
+  ASSERT_TRUE(cluster.WaitUntilStable(bank_a));
+  ASSERT_TRUE(cluster.WaitUntilStable(bank_b));
+  ASSERT_TRUE(cluster.WaitUntilStable(client));
+
+  for (auto [g, acct] : {std::pair{bank_a, "a0"}, std::pair{bank_b, "b0"}}) {
+    auto outcome = cluster.RunTransaction(client, OpenTxn(g, acct, kOpening));
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_EQ(*outcome, core::TxnOutcome::kCommitted);
+  }
+
+  // Alternate transfer direction; kill the bank-b primary halfway through.
+  int committed = 0;
+  bool killed = false;
+  for (int t = 0; t < kTxns; ++t) {
+    if (!killed && t == kTxns / 2) {
+      killed = true;
+      const auto p = cluster.PrimaryIndex(bank_b);
+      ASSERT_TRUE(p.has_value());
+      cluster.Crash(*p);
+    }
+    const bool a_to_b = (t % 2) == 0;
+    auto outcome = cluster.RunTransaction(
+        client,
+        a_to_b ? workload::MakeTransferTxn(bank_a, "a0", bank_b, "b0", 1)
+               : workload::MakeTransferTxn(bank_b, "b0", bank_a, "a0", 1),
+        30 * host::kSecond);
+    ASSERT_TRUE(outcome.has_value()) << "txn " << t << " got no outcome";
+    if (*outcome == core::TxnOutcome::kCommitted) {
+      ++committed;
+    } else {
+      ASSERT_NE(*outcome, core::TxnOutcome::kUnknown)
+          << "coordinator lost its own group?";
+      --t;  // aborted during the view-change window: retry
+    }
+  }
+  EXPECT_EQ(committed, kTxns);
+  ASSERT_TRUE(cluster.WaitUntilStable(bank_a));
+  ASSERT_TRUE(cluster.WaitUntilStable(bank_b));
+
+  // Exact conservation across the two groups: transfers net to zero.
+  long long total = 0;
+  for (auto [g, acct] : {std::pair{bank_a, "a0"}, std::pair{bank_b, "b0"}}) {
+    const auto p = cluster.PrimaryIndex(g);
+    ASSERT_TRUE(p.has_value());
+    cluster.RunOn(*p, [&, acct = acct](core::Cohort& c) {
+      auto v = c.objects().ReadCommitted(acct);
+      if (v && !v->empty()) total += std::stoll(*v);
+    });
+  }
+  EXPECT_EQ(total, 2 * kOpening);
+
+  // Every commit in this run was a two-participant transaction, so the
+  // coordinator must have taken the fused path for all of them.
+  const auto coord = cluster.PrimaryIndex(client);
+  ASSERT_TRUE(coord.has_value());
+  std::uint64_t fused = 0;
+  cluster.RunOn(*coord,
+                [&](core::Cohort& c) { fused = c.stats().fused_commits; });
+  EXPECT_GE(fused, static_cast<std::uint64_t>(kTxns));
 
   cluster.Shutdown();
 }

@@ -6,6 +6,8 @@
 // dictionary states.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/rng.h"
 #include "vr/batch_codec.h"
 #include "vr/events.h"
@@ -194,6 +196,66 @@ TEST(Messages, PrepareAndReplyRoundTrip) {
   EXPECT_EQ(rout.status, r.status);
   EXPECT_TRUE(rout.read_only);
   EXPECT_EQ(rout.new_view, r.new_view);
+
+  // Fused-commit fields (DESIGN.md §13) survive the trip.
+  r.prepared_vs = vr::Viewstamp{{5, 2}, 41};
+  EXPECT_EQ(RoundTrip(r).prepared_vs, r.prepared_vs);
+
+  vr::CommitMsg c;
+  c.group = 3;
+  c.aid = p.aid;
+  c.reply_to = 4;
+  c.decision_vs = vr::Viewstamp{{6, 1}, 17};
+  c.fused = true;
+  auto cout_ = RoundTrip(c);
+  EXPECT_EQ(cout_.aid, c.aid);
+  EXPECT_EQ(cout_.decision_vs, c.decision_vs);
+  EXPECT_TRUE(cout_.fused);
+}
+
+// Pins the exact wire layout of the commit-decision message, including the
+// fused-path fields appended by DESIGN.md §13. Anyone re-implementing the
+// protocol must produce these bytes.
+TEST(Messages, GoldenBytesCommitMsg) {
+  vr::CommitMsg m;
+  m.group = 3;
+  m.aid = {1, {2, 2}, 9};
+  m.reply_to = 4;
+  m.decision_vs = vr::Viewstamp{{5, 1}, 7};
+  m.fused = true;
+  const std::vector<std::uint8_t> expected = {
+      0x03, 0, 0, 0, 0, 0, 0, 0,  // group = 3 (u64 le)
+      0x01, 0, 0, 0, 0, 0, 0, 0,  // aid.coordinator_group = 1
+      0x02, 0, 0, 0, 0, 0, 0, 0,  // aid.view.counter = 2
+      0x02, 0, 0, 0,              // aid.view.mid = 2
+      0x09, 0, 0, 0, 0, 0, 0, 0,  // aid.seq = 9
+      0x04, 0, 0, 0,              // reply_to = 4
+      0x05, 0, 0, 0, 0, 0, 0, 0,  // decision_vs.view.counter = 5
+      0x01, 0, 0, 0,              // decision_vs.view.mid = 1
+      0x07, 0, 0, 0, 0, 0, 0, 0,  // decision_vs.ts = 7
+      0x01,                       // fused = true
+  };
+  EXPECT_EQ(vr::EncodeMsg(m), expected);
+}
+
+// The prepared-ack's piggybacked record identity (prepared_vs) is pinned as
+// the message's trailing bytes: appended, never reordered — older decoders
+// reading a prefix see the pre-§13 layout unchanged.
+TEST(Messages, GoldenBytesPrepareReplyTrailer) {
+  vr::PrepareReplyMsg r;
+  r.aid = {1, {2, 2}, 9};
+  r.from_group = 3;
+  r.status = vr::PrepareStatus::kPrepared;
+  r.prepared_vs = vr::Viewstamp{{5, 1}, 7};
+  const auto bytes = vr::EncodeMsg(r);
+  const std::vector<std::uint8_t> trailer = {
+      0x05, 0, 0, 0, 0, 0, 0, 0,  // prepared_vs.view.counter = 5
+      0x01, 0, 0, 0,              // prepared_vs.view.mid = 1
+      0x07, 0, 0, 0, 0, 0, 0, 0,  // prepared_vs.ts = 7
+  };
+  ASSERT_GE(bytes.size(), trailer.size());
+  EXPECT_TRUE(std::equal(trailer.begin(), trailer.end(),
+                         bytes.end() - trailer.size()));
 }
 
 TEST(Messages, ViewChangeMessagesRoundTrip) {
