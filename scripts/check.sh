@@ -66,7 +66,7 @@ if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   # The comm-buffer / replication-path suites, where the windowed protocol
   # does pointer arithmetic over the GC'd record vector.
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS" \
-    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test|sharding_test|host_conformance_test|socket_host_test'
+    -R 'vr_test|net_test|wire_test|protocol_edge_test|property_test|snapshot_test|storage_test|recovery_test|view_formation_test|sharding_test|lease_read_test|host_conformance_test|socket_host_test'
 fi
 
 if [[ "${CHECK_REAL_HOST:-0}" == "1" ]]; then
@@ -91,6 +91,8 @@ if [[ "${CHECK_SOAK:-0}" == "1" ]]; then
   CHECK_SOAK=1 build/tests/soak_test --gtest_filter='CommitFusionCrashSoak.*'
   echo "== soak (majority-loss storms, durable-log recovery) =="
   CHECK_SOAK=1 build/tests/recovery_test --gtest_filter='StormSoak.*'
+  echo "== soak (backup-read leases across primary crashes) =="
+  CHECK_SOAK=1 build/tests/lease_read_test --gtest_filter='LeaseSoak.*'
 fi
 
 echo "== experiments =="
@@ -126,6 +128,28 @@ for key in fused_decision_us serial_decision_us \
     exit 1
   fi
 done
+# The E15 backup-read experiment (DESIGN.md §14) must have produced both
+# sides of the lease ablation plus the serializability audit, and — on full
+# (non-smoke) runs — hit the >= 2x read scale-out the design promises.
+for key in reads_per_s_off reads_per_s_on read_throughput_multiplier \
+           backup_reads_served leases_granted serializability_violations; do
+  if ! grep -q "\"${key}\"" BENCH_E15.json; then
+    echo "FAIL: BENCH_E15.json is missing the lease metric ${key}" >&2
+    exit 1
+  fi
+done
+if ! awk '/"serializability_violations"/ { gsub(/[,"]/, ""); v = $2 }
+          END { exit (v == 0) ? 0 : 1 }' BENCH_E15.json; then
+  echo "FAIL: BENCH_E15.json reports serializability violations" >&2
+  exit 1
+fi
+if [[ "${CHECK_BENCH_SMOKE:-0}" != "1" ]]; then
+  if ! awk '/"read_throughput_multiplier"/ { gsub(/[,"]/, ""); m = $2 }
+            END { exit (m >= 2.0) ? 0 : 1 }' BENCH_E15.json; then
+    echo "FAIL: BENCH_E15.json read_throughput_multiplier is below 2x" >&2
+    exit 1
+  fi
+fi
 
 echo "== examples =="
 for e in build/examples/*; do

@@ -6,6 +6,16 @@
 
 namespace vsr::core {
 
+namespace {
+// The buffer grants leases only when backup reads are on: with the option
+// off no lease frames exist at all (DESIGN.md §14 determinism contract).
+vr::CommBufferOptions BufferOptionsFor(const CohortOptions& o) {
+  vr::CommBufferOptions b = o.buffer;
+  b.lease_duration = o.backup_reads ? o.read_lease_duration : 0;
+  return b;
+}
+}  // namespace
+
 const char* StatusName(Status s) {
   switch (s) {
     case Status::kActive:
@@ -34,14 +44,17 @@ Cohort::Cohort(host::Host& hst, net::Transport& network,
       configuration_(std::move(configuration)),
       store_(hst),
       buffer_(
-          hst, options.buffer,
+          hst, BufferOptionsFor(options),
           [this](Mid to, const vr::BufferBatchMsg& b) { SendMsg(to, b); },
           [this] {
             // §3 footnote 1: an abandoned force means a communication
             // failure — switch to running the view change algorithm.
             if (status_ == Status::kActive) BecomeViewManager();
           },
-          [this](Mid backup) { ServeSnapshot(backup); }),
+          [this](Mid backup) { ServeSnapshot(backup); },
+          [this](Mid backup, std::uint64_t stable_ts) {
+            SendLeaseGrant(backup, stable_ts);
+          }),
       snap_server_(
           hst, options.snapshot,
           [this](Mid to, const vr::SnapshotChunkMsg& m) { SendMsg(to, m); }),
@@ -125,9 +138,17 @@ void Cohort::ResetVolatileState() {
   rejoin_pending_ = false;
   call_dedup_.clear();
   prepared_.clear();
+  prepared_siblings_.clear();
   pending_commits_.clear();
   querying_.clear();
   txn_activity_.clear();
+  RevokeLease();
+  lease_grant_seq_ = 0;
+  object_commit_vs_.clear();
+  commit_vs_floor_ = Viewstamp{};
+  for (auto& [dest, timer] : decision_timers_) host_.timers().Cancel(timer);
+  decision_timers_.clear();
+  decision_queue_.clear();
   dead_subs_by_txn_.clear();
   external_txns_.clear();
   committing_external_.clear();
@@ -336,6 +357,7 @@ void Cohort::OnFrame(const net::Frame& frame) {
     case vr::MsgType::kInitView:
     case vr::MsgType::kBufferBatch:
     case vr::MsgType::kBufferAck:
+    case vr::MsgType::kLeaseGrant:
       if (!from_peer) return;
       break;
     default:
@@ -488,6 +510,20 @@ void Cohort::OnFrame(const net::Frame& frame) {
     case vr::MsgType::kShardPull: {
       auto m = vr::ShardPullMsg::Decode(r);
       if (r.ok() && m.group == group_) OnShardPull(m);
+      break;
+    }
+    case vr::MsgType::kLeaseGrant: {
+      auto m = vr::LeaseGrantMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnLeaseGrant(m);
+      break;
+    }
+    case vr::MsgType::kBackupRead: {
+      auto m = vr::BackupReadMsg::Decode(r);
+      if (r.ok() && m.group == group_) OnBackupRead(m);
+      break;
+    }
+    case vr::MsgType::kBackupReadReply: {
+      // Consumed by client::ReadClient, not by cohorts.
       break;
     }
   }

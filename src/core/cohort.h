@@ -263,6 +263,25 @@ struct CohortStats {
   std::uint64_t shard_pulls_completed = 0;
   std::uint64_t shard_images_installed = 0;
   std::uint64_t shard_ranges_dropped = 0;
+  // Backup read leases (DESIGN.md §14): grants taken as a backup, reads
+  // served (split out those served by a leased backup rather than the
+  // primary), and reads bounced back to the primary (no/stale lease, the
+  // object or the client's horizon beyond the stable watermark).
+  std::uint64_t lease_grants_received = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t backup_reads_served = 0;
+  std::uint64_t reads_refused = 0;
+  // Commit decisions that rode a sibling decision's CommitMsg to the same
+  // destination instead of a dedicated frame per decision.
+  std::uint64_t decision_piggybacked = 0;
+  // §3.7: transactions whose participants were all read-only, where the
+  // coordinator skipped the committing/done records entirely (each
+  // participant already committed at prepare; nobody holds locks or will
+  // ever query the decision).
+  std::uint64_t read_only_commits_skipped = 0;
+  // §3.4 queries resolved by a sibling participant's outcome table while
+  // the coordinator group was unreachable (§3.6 pset piggyback).
+  std::uint64_t sibling_query_resolutions = 0;
 };
 
 class Cohort : public net::FrameHandler {
@@ -482,6 +501,10 @@ class Cohort : public net::FrameHandler {
   void OnPrepare(const vr::PrepareMsg& m);
   host::Task<void> RunPrepare(vr::PrepareMsg m);
   void OnCommit(const vr::CommitMsg& m);
+  // Stash-or-run one decision (the CommitMsg body or one piggybacked extra):
+  // defers behind an in-flight prepare force for the same aid, else spawns
+  // RunCommit.
+  void DispatchCommit(const vr::CommitMsg& m);
   host::Task<void> RunCommit(vr::CommitMsg m);
   // Applies a commit decision stashed while a prepare for `aid` was in
   // flight (fused pipeline, DESIGN.md §13).
@@ -492,7 +515,10 @@ class Cohort : public net::FrameHandler {
   void ArmQueryTimer();
   void QueryBlockedTxns();
   host::Task<void> ResolveBlockedTxn(Aid aid);
-  void CommitLocally(Aid aid);
+  // Installs the commit and returns the uids whose base version changed;
+  // the caller stamps them (NoteInstalled) with the committed record's
+  // viewstamp once it exists.
+  std::vector<std::string> CommitLocally(Aid aid);
   std::vector<std::uint8_t> SnapshotGstate() const;
   void RestoreGstate(const std::vector<std::uint8_t>& bytes);
   // Awaitable force-to (false = abandoned / not primary).
@@ -502,6 +528,28 @@ class Cohort : public net::FrameHandler {
   // Adds a record to the buffer and mirrors its outcome bookkeeping (the
   // primary-side counterpart of ApplyRecord).
   Viewstamp AddRecord(vr::EventRecord rec);
+
+  // ---- backup read leases (txn_server.cc, DESIGN.md §14) ----
+  // Primary side: the buffer's ack path noticed a lease (re)grant is due
+  // for `backup` — send one pinned to the current view and stable ts.
+  void SendLeaseGrant(Mid backup, std::uint64_t stable_ts);
+  // Backup side: take a grant from the current view's primary.
+  void OnLeaseGrant(const vr::LeaseGrantMsg& m);
+  // Drop any held lease crashed-equivalent (view transitions, snapshot
+  // installs, crash): a revoked backup bounces reads until re-granted.
+  void RevokeLease();
+  // The viewstamp that committed `uid`'s current base version here, as far
+  // as this cohort tracked it (the floor covers wholesale restores).
+  Viewstamp EffectiveCommitVs(const std::string& uid) const;
+  // Stamps freshly installed base versions with the committing record's
+  // viewstamp (admission bound for backup reads).
+  void NoteInstalled(const std::vector<std::string>& uids, Viewstamp vs);
+  // Floor-bump for wholesale state replacement (newview adoption, snapshot
+  // or shard installs): every object is conservatively treated as committed
+  // at `vs`.
+  void ResetCommitStamps(Viewstamp vs);
+  void OnBackupRead(const vr::BackupReadMsg& m);
+  host::Task<void> RunBackupRead(vr::BackupReadMsg m);
 
   // ---- client / coordinator role (txn_coord.cc) ----
   host::Task<void> TxnDriver(Aid aid, TxnBody body,
@@ -530,6 +578,13 @@ class Cohort : public net::FrameHandler {
   struct CommitJoin;
   host::Task<void> CommitOne(Aid aid, GroupId g, Viewstamp decision_vs,
                             bool fused, std::shared_ptr<CommitJoin> join);
+  // Decision piggybacking: first-attempt commit decisions for the same
+  // destination primary coalesce into one CommitMsg (body + extras) behind
+  // a short timer instead of a dedicated frame per decision. Retries bypass
+  // the queue.
+  void EnqueueDecision(Mid dest, GroupId g, Aid aid, Viewstamp decision_vs,
+                       bool fused);
+  void FlushDecisions(Mid dest);
   host::Task<void> AbortEverywhere(Aid aid, Pset pset,
                                   std::vector<GroupId> extra_groups = {});
   void OnBeginTxn(const vr::BeginTxnMsg& m);
@@ -689,6 +744,11 @@ class Cohort : public net::FrameHandler {
   std::set<Aid> prepared_;                          // blocked-txn query targets
   std::set<Aid> preparing_;                         // prepare force in flight
   std::set<Aid> querying_;                          // resolution in flight
+  // Sibling participant groups from the prepare's pset (§3.6): fallback
+  // query targets when the coordinator group is unreachable — any sibling
+  // that applied the decision answers authoritatively from its outcome
+  // table. Volatile, like prepared_; carried in the snapshot payload.
+  std::map<Aid, std::vector<GroupId>> prepared_siblings_;
   // Fused pipeline (DESIGN.md §13): a commit decision that arrives while a
   // (re)transmitted prepare for the same transaction is mid-force is stashed
   // here and applied when the prepare resolves — sequencing the two instead
@@ -698,6 +758,23 @@ class Cohort : public net::FrameHandler {
   // idle-transaction janitor (§3.4 queries).
   std::map<Aid, host::Time> txn_activity_;
   host::TimerId query_timer_ = host::kNoTimer;
+
+  // ---- backup read leases (DESIGN.md §14) ----
+  // Backup side: the lease currently held, valid only while it pins the
+  // current view. lease_stable_ts_ is the primary's stable watermark at
+  // grant time — reads are admitted against min(applied_ts_, lease stable).
+  ViewId lease_viewid_;
+  std::uint64_t lease_seq_ = 0;
+  host::Time lease_expires_at_ = 0;
+  std::uint64_t lease_stable_ts_ = 0;
+  // Primary side: monotone grant sequence (orders reordered grant frames).
+  std::uint64_t lease_grant_seq_ = 0;
+  // Commit stamps for read admission: uid -> viewstamp of the committed
+  // record that installed its current base version; objects not in the map
+  // (restored wholesale from a newview gstate / snapshot / shard image) are
+  // covered by the floor. Cleared at every view transition.
+  std::map<std::string, Viewstamp> object_commit_vs_;
+  Viewstamp commit_vs_floor_;
 
   // ---- coordinator-server role (§3.5) ----
   // Externally driven transactions (unreplicated clients), with begin time
@@ -728,6 +805,17 @@ class Cohort : public net::FrameHandler {
   std::map<std::pair<Aid, GroupId>, std::uint64_t> commit_corr_;
   std::map<Aid, std::uint64_t> query_corr_;
   std::map<GroupId, std::vector<std::uint64_t>> probe_corr_;
+  // Decision piggybacking (as coordinator): first-attempt commit decisions
+  // queued per destination primary, flushed as one CommitMsg (body +
+  // extras) when the coalesce timer fires.
+  struct QueuedDecision {
+    GroupId group = 0;
+    Aid aid;
+    Viewstamp decision_vs;
+    bool fused = false;
+  };
+  std::map<Mid, std::vector<QueuedDecision>> decision_queue_;
+  std::map<Mid, host::TimerId> decision_timers_;
 
   CohortStats stats_;
 

@@ -182,7 +182,10 @@ void Cohort::ApplyRecord(const vr::EventRecord& rec) {
       outcomes_.RecordCommitted(rec.sub_aid.aid);
       PruneDedup(rec.sub_aid.aid);
       if (eager) {
-        store_.Commit(rec.sub_aid.aid);
+        // Stamp the installed bases with the committed record's viewstamp:
+        // the admission bound for backup reads (DESIGN.md §14).
+        NoteInstalled(store_.Commit(rec.sub_aid.aid),
+                      Viewstamp{cur_viewid_, rec.ts});
       } else {
         pending_records_.push_back(rec);
       }
@@ -362,6 +365,13 @@ std::shared_ptr<const std::vector<std::uint8_t>> Cohort::BuildSnapshotPayload()
   w.Bytes(std::span<const std::uint8_t>(gstate));
   w.U32(static_cast<std::uint32_t>(prepared_.size()));
   for (const Aid& aid : prepared_) aid.Encode(w);
+  // §3.6 sibling fallback targets travel with the prepared set, so a
+  // snapshot-caught-up cohort keeps its coordinator-partition escape hatch.
+  w.U32(static_cast<std::uint32_t>(prepared_siblings_.size()));
+  for (const auto& [aid, groups] : prepared_siblings_) {
+    aid.Encode(w);
+    w.Vector(groups, [&](GroupId g) { w.U64(g); });
+  }
   return std::make_shared<const std::vector<std::uint8_t>>(w.Take());
 }
 
@@ -396,6 +406,10 @@ void Cohort::OnSnapshotChunk(const vr::SnapshotChunkMsg& m) {
   // abandoned by the idle timer so that equivalence cannot outlive the
   // serving primary.
   installing_snapshot_ = true;
+  // Crashed-equivalent for reads too: the gstate this cohort would serve
+  // from is doomed, so any held lease is dropped until the install lands
+  // and a fresh grant arrives (DESIGN.md §14).
+  RevokeLease();
   host_.timers().Cancel(snap_abandon_timer_);
   snap_abandon_timer_ =
       host_.timers().After(options_.snapshot.install_abandon_timeout,
@@ -447,6 +461,12 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
   for (std::uint32_t i = 0; i < prep_count && r.ok(); ++i) {
     prepared.insert(Aid::Decode(r));
   }
+  std::map<Aid, std::vector<GroupId>> siblings;
+  const std::uint32_t sib_count = r.U32();
+  for (std::uint32_t i = 0; i < sib_count && r.ok(); ++i) {
+    const Aid aid = Aid::Decode(r);
+    siblings[aid] = r.Vector<GroupId>([&] { return r.U64(); });
+  }
   if (!r.ok() || !r.AtEnd() || hist.Empty() ||
       hist.Latest().view != vs.view || hist.Latest().ts > vs.ts) {
     ++stats_.snapshot_installs_rejected;
@@ -460,6 +480,7 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
   history_.Advance(vs.ts);
   RestoreGstate(gstate);
   prepared_ = std::move(prepared);
+  prepared_siblings_ = std::move(siblings);
   // Restored blocked transactions look freshly active to the idle janitor
   // and are queried via the normal §3.4 path if they stay quiet.
   for (const Aid& aid : prepared_) txn_activity_[aid] = host_.Now();
@@ -470,6 +491,9 @@ bool Cohort::InstallSnapshot(Viewstamp vs,
   batch_decoder_.Reset();
   applied_ts_ = vs.ts;
   installing_snapshot_ = false;
+  // Every restored base version is conservatively treated as committed at
+  // the snapshot point for read admission (DESIGN.md §14).
+  ResetCommitStamps(vs);
   if (log_recovered_ && !(cur_viewid_ < recovered_crash_viewid_)) {
     // The snapshot covers every record the primary ever streamed in this
     // view, hence everything we could have acknowledged before the crash:
@@ -889,9 +913,24 @@ host::Task<void> Cohort::RunPrepare(vr::PrepareMsg m) {
   if (read_only) {
     // "If the transaction is read-only, add a <'committed', aid> record."
     r.prepared_vs = AddRecord(vr::EventRecord::Committed(m.aid));
-    store_.Commit(m.aid);
+    store_.Commit(m.aid);  // read-only: installs nothing, releases locks
   } else {
     prepared_.insert(m.aid);
+    // §3.6 piggyback: the pset names every sibling participant. Remember
+    // them as fallback query targets — any sibling that applied the commit
+    // decision can answer a §3.4 query authoritatively even when the whole
+    // coordinator group is unreachable.
+    std::vector<GroupId> siblings;
+    for (const vr::PsetEntry& e : m.pset) {
+      if (e.groupid == group_ || e.groupid == m.aid.coordinator_group) {
+        continue;
+      }
+      if (std::find(siblings.begin(), siblings.end(), e.groupid) ==
+          siblings.end()) {
+        siblings.push_back(e.groupid);
+      }
+    }
+    prepared_siblings_[m.aid] = std::move(siblings);
   }
   SendMsg(m.reply_to, r);
   // A commit decision that arrived mid-force was stashed rather than run
@@ -905,31 +944,56 @@ void Cohort::PruneDedup(Aid aid) {
   });
 }
 
-void Cohort::CommitLocally(Aid aid) {
-  store_.Commit(aid);
+std::vector<std::string> Cohort::CommitLocally(Aid aid) {
+  std::vector<std::string> installed = store_.Commit(aid);
   outcomes_.RecordCommitted(aid);
   prepared_.erase(aid);
+  prepared_siblings_.erase(aid);
   pending_commits_.erase(aid);
   txn_activity_.erase(aid);
   dead_subs_by_txn_.erase(aid);
   PruneDedup(aid);
   ++stats_.commits_applied;
+  return installed;
 }
 
 void Cohort::OnCommit(const vr::CommitMsg& m) {
   if (!IsActivePrimary()) {
-    vr::CommitDoneMsg r;
-    r.aid = m.aid;
-    r.from_group = group_;
-    r.wrong_primary = true;
-    if (status_ == Status::kActive) {
-      r.view_known = true;
-      r.new_viewid = cur_viewid_;
-      r.new_view = cur_view_;
-    }
-    SendMsg(m.reply_to, r);
+    // Answer every decision the frame carried (body + piggybacked extras):
+    // the coordinator has an independent waiter per transaction.
+    auto reject = [&](Aid aid) {
+      vr::CommitDoneMsg r;
+      r.aid = aid;
+      r.from_group = group_;
+      r.wrong_primary = true;
+      if (status_ == Status::kActive) {
+        r.view_known = true;
+        r.new_viewid = cur_viewid_;
+        r.new_view = cur_view_;
+      }
+      SendMsg(m.reply_to, r);
+    };
+    reject(m.aid);
+    for (const vr::CommitExtra& e : m.extras) reject(e.aid);
     return;
   }
+  // Unpack piggybacked sibling decisions: each is dispatched exactly as if
+  // it had arrived in its own CommitMsg and acked with its own done.
+  vr::CommitMsg body = m;
+  body.extras.clear();
+  DispatchCommit(body);
+  for (const vr::CommitExtra& e : m.extras) {
+    vr::CommitMsg one;
+    one.group = m.group;
+    one.aid = e.aid;
+    one.reply_to = m.reply_to;
+    one.decision_vs = e.decision_vs;
+    one.fused = e.fused;
+    DispatchCommit(one);
+  }
+}
+
+void Cohort::DispatchCommit(const vr::CommitMsg& m) {
   // A (re)transmitted prepare for this transaction is mid-force. With the
   // fused fan-out this interleaving is routine — the decision can reach us
   // while a duplicate prepare is still suspended — so sequence the commit
@@ -958,8 +1022,9 @@ host::Task<void> Cohort::RunCommit(vr::CommitMsg m) {
   //  <'committed', aid> record to the buffer, do a force_to(new_vs), and
   //  send a done message to the coordinator."
   if (outcomes_.Lookup(m.aid) != TxnOutcome::kCommitted) {
-    CommitLocally(m.aid);
+    const std::vector<std::string> installed = CommitLocally(m.aid);
     const Viewstamp vs = AddRecord(vr::EventRecord::Committed(m.aid));
+    NoteInstalled(installed, vs);
     const bool ok = co_await Force(vs);
     if (!ok || !IsActivePrimary()) co_return;  // view change resolves it
   } else {
@@ -987,6 +1052,7 @@ void Cohort::LocalAbortTxn(Aid aid) {
   if (outcomes_.Lookup(aid) == TxnOutcome::kCommitted) return;
   store_.Abort(aid);
   prepared_.erase(aid);
+  prepared_siblings_.erase(aid);
   pending_commits_.erase(aid);
   txn_activity_.erase(aid);
   dead_subs_by_txn_.erase(aid);
@@ -1058,11 +1124,20 @@ void Cohort::QueryBlockedTxns() {
 
 host::Task<void> Cohort::ResolveBlockedTxn(Aid aid) {
   // The aid embeds the coordinator's groupid (§3.4), so we know whom to ask;
-  // any cohort of that group that knows the outcome may answer.
+  // any cohort of that group that knows the outcome may answer. If the whole
+  // coordinator group is unreachable (partitioned away mid-decision), fall
+  // back to the sibling participants the prepare's pset named (§3.6): a
+  // sibling that already applied the decision answers authoritatively from
+  // its outcome table, so this group need not stay wedged until the
+  // partition heals.
+  bool resolved = false;
   const std::vector<Mid>* config = directory_.Lookup(aid.coordinator_group);
   if (config != nullptr) {
     for (Mid target : *config) {
-      if (outcomes_.Lookup(aid) != TxnOutcome::kUnknown) break;  // resolved
+      if (outcomes_.Lookup(aid) != TxnOutcome::kUnknown) {  // resolved
+        resolved = true;
+        break;
+      }
       ++stats_.queries_sent;
       const std::uint64_t corr = NextCorrId();
       query_corr_[aid] = corr;
@@ -1079,26 +1154,234 @@ host::Task<void> Cohort::ResolveBlockedTxn(Aid aid) {
       if (!r) continue;
       if (r->outcome == TxnOutcome::kCommitted) {
         ++stats_.queries_resolved;
+        resolved = true;
         // The coordinator's commit decision is final and system-wide; our
         // volatile prepared_ set may have been lost in a view change while
         // the transaction's effects survived in the gstate, so install
         // unconditionally.
         if (IsActivePrimary()) {
-          CommitLocally(aid);
+          const std::vector<std::string> installed = CommitLocally(aid);
           const Viewstamp vs = AddRecord(vr::EventRecord::Committed(aid));
+          NoteInstalled(installed, vs);
           co_await Force(vs);
         }
         break;
       }
       if (r->outcome == TxnOutcome::kAborted) {
         ++stats_.queries_resolved;
+        resolved = true;
         LocalAbortTxn(aid);
         break;
       }
-      if (r->outcome == TxnOutcome::kActive) break;  // still deciding
+      if (r->outcome == TxnOutcome::kActive) {  // still deciding
+        resolved = true;
+        break;
+      }
+    }
+  }
+  if (!resolved && outcomes_.Lookup(aid) == TxnOutcome::kUnknown) {
+    std::vector<GroupId> siblings;
+    if (auto it = prepared_siblings_.find(aid);
+        it != prepared_siblings_.end()) {
+      siblings = it->second;
+    }
+    for (GroupId g : siblings) {
+      if (resolved) break;
+      const std::vector<Mid>* sibs = directory_.Lookup(g);
+      if (sibs == nullptr) continue;
+      for (Mid target : *sibs) {
+        if (outcomes_.Lookup(aid) != TxnOutcome::kUnknown) {
+          resolved = true;
+          break;
+        }
+        ++stats_.queries_sent;
+        const std::uint64_t corr = NextCorrId();
+        query_corr_[aid] = corr;
+        vr::QueryMsg q;
+        q.aid = aid;
+        q.reply_to = self_;
+        q.reply_group = group_;
+        SendMsg(target, q);
+        auto r = co_await query_waiters_.Await(corr, options_.probe_timeout);
+        if (auto it = query_corr_.find(aid);
+            it != query_corr_.end() && it->second == corr) {
+          query_corr_.erase(it);
+        }
+        if (!r) continue;
+        // A sibling only reports outcomes it has durably recorded; kActive
+        // and kUnknown from it mean nothing authoritative — keep asking.
+        if (r->outcome == TxnOutcome::kCommitted) {
+          ++stats_.queries_resolved;
+          ++stats_.sibling_query_resolutions;
+          resolved = true;
+          if (IsActivePrimary()) {
+            const std::vector<std::string> installed = CommitLocally(aid);
+            const Viewstamp vs = AddRecord(vr::EventRecord::Committed(aid));
+            NoteInstalled(installed, vs);
+            co_await Force(vs);
+          }
+          break;
+        }
+        if (r->outcome == TxnOutcome::kAborted) {
+          ++stats_.queries_resolved;
+          ++stats_.sibling_query_resolutions;
+          resolved = true;
+          LocalAbortTxn(aid);
+          break;
+        }
+      }
     }
   }
   querying_.erase(aid);
+}
+
+// ---------------------------------------------------------------------------
+// Backup read leases (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Cohort::SendLeaseGrant(Mid backup, std::uint64_t stable_ts) {
+  if (!IsActivePrimary() || !options_.backup_reads) return;
+  vr::LeaseGrantMsg m;
+  m.group = group_;
+  m.viewid = cur_viewid_;
+  m.from = self_;
+  m.seq = ++lease_grant_seq_;
+  m.stable_ts = stable_ts;
+  m.duration = static_cast<std::uint64_t>(options_.read_lease_duration);
+  SendMsg(backup, m);
+}
+
+void Cohort::OnLeaseGrant(const vr::LeaseGrantMsg& m) {
+  // Only an active backup of the current view takes grants, and only from
+  // its own primary. A mid-install cohort's gstate is doomed (crashed-
+  // equivalent) and must not re-arm a lease.
+  if (!options_.backup_reads || status_ != Status::kActive ||
+      installing_snapshot_ || m.viewid != cur_viewid_ ||
+      m.from != cur_view_.primary || cur_view_.primary == self_) {
+    return;
+  }
+  // Reordered grant frames: the sequence is monotone per primary, so a
+  // stale grant must never rewind the expiry or the stable watermark.
+  if (lease_viewid_ == cur_viewid_ && m.seq <= lease_seq_) return;
+  lease_viewid_ = m.viewid;
+  lease_seq_ = m.seq;
+  lease_expires_at_ = host_.Now() + static_cast<host::Duration>(m.duration);
+  lease_stable_ts_ = m.stable_ts;
+  ++stats_.lease_grants_received;
+}
+
+void Cohort::RevokeLease() {
+  lease_viewid_ = ViewId{};
+  lease_seq_ = 0;
+  lease_expires_at_ = 0;
+  lease_stable_ts_ = 0;
+}
+
+Viewstamp Cohort::EffectiveCommitVs(const std::string& uid) const {
+  auto it = object_commit_vs_.find(uid);
+  if (it != object_commit_vs_.end()) return std::max(it->second, commit_vs_floor_);
+  return commit_vs_floor_;
+}
+
+void Cohort::NoteInstalled(const std::vector<std::string>& uids,
+                           Viewstamp vs) {
+  if (!options_.backup_reads || uids.empty()) return;
+  for (const std::string& uid : uids) {
+    Viewstamp& slot = object_commit_vs_[uid];
+    slot = std::max(slot, vs);
+  }
+}
+
+void Cohort::ResetCommitStamps(Viewstamp vs) {
+  if (!options_.backup_reads) return;
+  // Wholesale state replacement: per-object provenance is gone, so every
+  // object is treated as committed at the restore point. Reads at a backup
+  // then wait until the stable watermark reaches it (moments, in practice).
+  object_commit_vs_.clear();
+  commit_vs_floor_ = vs;
+}
+
+void Cohort::OnBackupRead(const vr::BackupReadMsg& m) {
+  tasks_.Spawn(RunBackupRead(m));
+}
+
+host::Task<void> Cohort::RunBackupRead(vr::BackupReadMsg m) {
+  // Reads charge the same serial CPU as calls — the whole point of lease
+  // reads is moving this cost off the primary, so it must be modeled.
+  if (options_.call_service_time > 0) {
+    const host::Time now = host_.Now();
+    const host::Time start = std::max(now, cpu_free_);
+    cpu_free_ = start + options_.call_service_time;
+    co_await host::Sleep(host_.timers(), cpu_free_ - now);
+  }
+  // Admission is evaluated at serve time (post-queue): the view or the
+  // lease may have moved while the read waited for the CPU.
+  vr::BackupReadReplyMsg r;
+  r.corr = m.corr;
+  r.status = vr::ReadStatus::kWrongLease;
+  const bool is_primary = IsActivePrimary();
+  bool admitted = false;
+  std::uint64_t bound = 0;  // backup-side stable read bound (same-view ts)
+  if (is_primary) {
+    // The primary serves its own committed state unconditionally — it IS
+    // the definition of committed here. Ungated by backup_reads so that a
+    // replicated group always answers reads somewhere.
+    admitted = true;
+  } else if (options_.backup_reads && status_ == Status::kActive &&
+             !installing_snapshot_ && cur_view_.primary != self_ &&
+             lease_viewid_ == cur_viewid_ &&
+             host_.Now() < lease_expires_at_) {
+    // Serve only what is (a) applied here and (b) known replicated to a
+    // sub-majority as of the lease grant: such state survives every later
+    // view formation, so a value served under the lease can never be
+    // unwound by a view change (one-copy serializability across views).
+    admitted = true;
+    bound = std::min(applied_ts_, lease_stable_ts_);
+  }
+  // Session monotonicity: refuse if the client has observed state this
+  // cohort cannot prove it covers. Unlike a missing lease, these refusals
+  // are transient (the watermark advances with the next renewal), so they
+  // are reported as kTooNew and the client keeps the member in rotation.
+  if (admitted) {
+    if (m.horizon.view > cur_viewid_) {
+      admitted = false;  // we are behind a view the client already saw
+      r.status = vr::ReadStatus::kTooNew;
+    } else if (!is_primary && m.horizon.view == cur_viewid_ &&
+               m.horizon.ts > bound) {
+      admitted = false;  // client saw past our stable prefix
+      r.status = vr::ReadStatus::kTooNew;
+    }
+  }
+  if (admitted && !is_primary) {
+    // Per-object bound: the base version here may have been installed past
+    // the lease's stable watermark (applied but not yet sub-majority-acked).
+    const Viewstamp ovs = EffectiveCommitVs(m.uid);
+    if ((ovs.view == cur_viewid_ && ovs.ts > bound) ||
+        ovs.view > cur_viewid_) {
+      admitted = false;
+      r.status = vr::ReadStatus::kTooNew;
+    }
+  }
+  if (!admitted) {
+    ++stats_.reads_refused;
+    // Bounce with a primary hint (mirrors the shard router's wrong-shard
+    // redirect): the client retries there without a directory round.
+    if (status_ == Status::kActive) r.primary_hint = cur_view_.primary;
+    SendMsg(m.reply_to, r);
+    co_return;
+  }
+  const Viewstamp served_vs = EffectiveCommitVs(m.uid);
+  auto val = store_.ReadCommitted(m.uid);
+  if (!val) {
+    r.status = vr::ReadStatus::kNotFound;
+  } else {
+    r.status = vr::ReadStatus::kOk;
+    r.value.assign(val->begin(), val->end());
+  }
+  r.served_vs = served_vs;
+  ++stats_.reads_served;
+  if (!is_primary) ++stats_.backup_reads_served;
+  SendMsg(m.reply_to, r);
 }
 
 }  // namespace vsr::core

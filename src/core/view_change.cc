@@ -37,6 +37,7 @@ void Cohort::BecomeViewManager() {
   status_ = Status::kViewManager;
   buffer_.Stop();  // no longer operating as a primary
   snap_server_.Stop();
+  RevokeLease();  // leaving the active state revokes read service too
   host_.timers().Cancel(underling_timer_);
   underling_timer_ = host::kNoTimer;
   MakeInvitations();
@@ -131,6 +132,11 @@ void Cohort::OnInvite(const vr::InviteMsg& m) {
   invite_timer_ = host::kNoTimer;
   buffer_.Stop();
   snap_server_.Stop();
+  // Accepting an invitation is the revocation point of DESIGN.md §14: from
+  // here on this cohort might be excluded from the next view, so it must
+  // stop serving lease reads immediately — crashed-equivalent, like the
+  // snapshot sink below.
+  RevokeLease();
   ClearRejoin();  // the replayed view is being superseded
   // NOTE: snap_sink_ / installing_snapshot_ deliberately survive the
   // invitation — the half-installed state is exactly what DoAccept must keep
@@ -299,6 +305,10 @@ void Cohort::FinishStartViewAsPrimary(View v, ViewId vid) {
   buffer_.StartView(vid, v.backups, configuration_.size(), group_, self_,
                     &history_);
   snap_server_.StartView(vid, group_, self_);
+  // Per-object commit provenance does not cross views; ts 0 means "at or
+  // before this view opened", which every later stable watermark covers.
+  RevokeLease();
+  ResetCommitStamps(Viewstamp{vid, 0});
   // "it initializes the buffer to contain a single 'newview' event record;
   //  this record contains cur_view, history, and gstate."
   vr::EventRecord newview =
@@ -336,6 +346,10 @@ void Cohort::AdoptNewView(const vr::EventRecord& newview, ViewId vid,
   ClearSnapshotSink();
   ResetShardPull(false);  // a backup cannot be mid-pull; clear stragglers
   applied_ts_ = newview_ts;
+  // The restored gstate's per-object provenance is gone: treat everything
+  // as committed at the newview record and wait for a fresh lease grant.
+  RevokeLease();
+  ResetCommitStamps(Viewstamp{vid, newview_ts});
 
   // Adopting the newview record re-validates our state; the log restarts
   // from a checkpoint of it. Issued BEFORE the viewid force: completions

@@ -133,10 +133,11 @@ void ObjectStore::ReleaseReadLocks(Aid aid) {
   if (it->second.empty()) touched_.erase(it);
 }
 
-void ObjectStore::Commit(Aid aid) {
+std::vector<std::string> ObjectStore::Commit(Aid aid) {
+  std::vector<std::string> installed;
   auto it = touched_.find(aid);
   ++stats_.commits;
-  if (it == touched_.end()) return;
+  if (it == touched_.end()) return installed;
   std::set<std::string> uids = std::move(it->second);
   touched_.erase(it);
   for (const std::string& uid : uids) {
@@ -148,6 +149,7 @@ void ObjectStore::Commit(Aid aid) {
          ++rit) {
       if (rit->owner.aid == aid) {
         obj.base = rit->value;
+        installed.push_back(uid);
         break;
       }
     }
@@ -157,6 +159,7 @@ void ObjectStore::Commit(Aid aid) {
     ReleaseAllLocks(uid, obj, aid);
     PumpWaiters(uid);
   }
+  return installed;
 }
 
 void ObjectStore::Abort(Aid aid) {

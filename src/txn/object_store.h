@@ -84,7 +84,10 @@ class ObjectStore {
   void ReleaseReadLocks(Aid aid);
 
   // Installs `aid`'s tentative versions as base and releases its locks.
-  void Commit(Aid aid);
+  // Returns the uids whose base value actually changed (objects the
+  // transaction wrote, not merely read) — the cohort stamps these with the
+  // committing record's viewstamp for backup-read admission (DESIGN.md §14).
+  std::vector<std::string> Commit(Aid aid);
 
   // Discards `aid`'s tentative versions and releases its locks.
   void Abort(Aid aid);

@@ -9,12 +9,14 @@ namespace vsr::vr {
 CommBuffer::CommBuffer(host::Host& hst, CommBufferOptions options,
                        std::function<void(Mid, const BufferBatchMsg&)> send,
                        std::function<void()> on_force_failed,
-                       std::function<void(Mid)> on_needs_snapshot)
+                       std::function<void(Mid)> on_needs_snapshot,
+                       std::function<void(Mid, std::uint64_t)> on_lease)
     : host_(hst),
       options_(options),
       send_(std::move(send)),
       on_force_failed_(std::move(on_force_failed)),
-      on_needs_snapshot_(std::move(on_needs_snapshot)) {}
+      on_needs_snapshot_(std::move(on_needs_snapshot)),
+      on_lease_(std::move(on_lease)) {}
 
 void CommBuffer::StartView(ViewId viewid, std::vector<Mid> backups,
                            std::size_t config_size, GroupId group, Mid self,
@@ -230,6 +232,19 @@ void CommBuffer::OnAck(const BufferAckMsg& ack) {
   // snapshot state transfer if the rewound ack fell below the GC floor.
   // (Ignored duplicate rejoins get nothing — their episode was serviced.)
   if (rejoin_serviced) SendTo(ack.from);
+
+  // Read-lease renewal (DESIGN.md §14) rides the ack we just processed: no
+  // dedicated timer, the grant is issued at most once per duration/8 per
+  // backup — well inside the expiry for liveness, and frequent enough that
+  // the granted stable watermark (which bounds what the backup may serve)
+  // stays fresh under a write-heavy mix. A backup mid state transfer gets
+  // no lease — its applied state is about to be replaced wholesale.
+  if (options_.lease_duration > 0 && on_lease_ && !st.state_transfer &&
+      host_.Now() >= st.lease_renew_at) {
+    st.lease_renew_at = host_.Now() + options_.lease_duration / 8;
+    ++stats_.leases_granted;
+    on_lease_(ack.from, StableTs());
+  }
 
   ArmRetransmitTimer();
   CollectGarbage();

@@ -79,6 +79,11 @@ struct CommBufferOptions {
   // for every backup and catch-up replays the full record suffix (ablation
   // A7, bench E11).
   bool snapshot_catchup = true;
+  // Backup read leases (DESIGN.md §14): when nonzero, processing an ack
+  // from a backup re-grants it a read lease of this duration once at least
+  // half the duration has elapsed since the previous grant — renewal rides
+  // the ack traffic, no dedicated timer. 0 disables granting entirely.
+  host::Duration lease_duration = 0;
 };
 
 class CommBuffer {
@@ -87,10 +92,15 @@ class CommBuffer {
   // when a force is abandoned. on_needs_snapshot(backup) fires when a backup
   // falls behind the GC watermark and must catch up via state transfer; the
   // owner is expected to serve it a snapshot (DESIGN.md §9).
+  // on_lease(backup, stable_ts) fires when the lease half-life policy wants
+  // a fresh grant sent to `backup`; the owner builds and sends the
+  // LeaseGrantMsg (it knows the viewid and its own mid is already here, but
+  // message construction stays with the cohort, like batches).
   CommBuffer(host::Host& hst, CommBufferOptions options,
              std::function<void(Mid, const BufferBatchMsg&)> send,
              std::function<void()> on_force_failed,
-             std::function<void(Mid)> on_needs_snapshot = nullptr);
+             std::function<void(Mid)> on_needs_snapshot = nullptr,
+             std::function<void(Mid, std::uint64_t)> on_lease = nullptr);
   ~CommBuffer() { Stop(); }
   CommBuffer(const CommBuffer&) = delete;
   CommBuffer& operator=(const CommBuffer&) = delete;
@@ -182,6 +192,8 @@ class CommBuffer {
     // coalescing on, this (and the kBufferAck frame count) drops while the
     // replication watermark still advances.
     std::uint64_t acks_received = 0;
+    // Read-lease grants issued on the ack path (DESIGN.md §14).
+    std::uint64_t leases_granted = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -219,6 +231,9 @@ class CommBuffer {
     // view; rewinds to the ack checkpoint on retransmission, resets when
     // the backup reports its decoder cannot continue the stream.
     BatchEncoder encoder;
+    // Next time an ack from this backup triggers a fresh read-lease grant
+    // (lease half-life renewal; 0 = grant on the first ack).
+    host::Time lease_renew_at = 0;
   };
 
   void ScheduleFlush(host::Duration delay);
@@ -239,6 +254,7 @@ class CommBuffer {
   std::function<void(Mid, const BufferBatchMsg&)> send_;
   std::function<void()> on_force_failed_;
   std::function<void(Mid)> on_needs_snapshot_;
+  std::function<void(Mid, std::uint64_t)> on_lease_;
 
   bool active_ = false;
   ViewId viewid_;

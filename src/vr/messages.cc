@@ -56,6 +56,12 @@ const char* MsgTypeName(MsgType t) {
       return "abort-req";
     case MsgType::kShardPull:
       return "shard-pull";
+    case MsgType::kLeaseGrant:
+      return "lease-grant";
+    case MsgType::kBackupRead:
+      return "backup-read";
+    case MsgType::kBackupReadReply:
+      return "backup-read-reply";
   }
   return "?";
 }

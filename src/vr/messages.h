@@ -64,6 +64,10 @@ enum class MsgType : std::uint16_t {
   kAbortReq = 26,
 
   kShardPull = 27,
+
+  kLeaseGrant = 28,
+  kBackupRead = 29,
+  kBackupReadReply = 30,
 };
 
 const char* MsgTypeName(MsgType t);
@@ -531,6 +535,31 @@ struct PrepareReplyMsg {
   }
 };
 
+// One additional commit decision riding a CommitMsg frame to the same
+// primary (decision piggybacking, the PR 9 follow-on): the coordinator
+// coalesces decisions destined for one cohort into a single frame instead
+// of a dedicated frame per transaction. Each extra is processed exactly
+// like the carrying message's own decision and acked with its own
+// CommitDoneMsg.
+struct CommitExtra {
+  Aid aid;
+  Viewstamp decision_vs;
+  bool fused = false;
+
+  void Encode(wire::Writer& w) const {
+    aid.Encode(w);
+    decision_vs.Encode(w);
+    w.Bool(fused);
+  }
+  static CommitExtra Decode(wire::Reader& r) {
+    CommitExtra e;
+    e.aid = Aid::Decode(r);
+    e.decision_vs = Viewstamp::Decode(r);
+    e.fused = r.Bool();
+    return e;
+  }
+};
+
 struct CommitMsg {
   static constexpr MsgType kType = MsgType::kCommit;
   GroupId group = 0;
@@ -546,6 +575,9 @@ struct CommitMsg {
   // True when the fan-out overlapped the decision force (the committing
   // record may not have reached a sub-majority yet when this was sent).
   bool fused = false;
+  // Piggybacked decisions for OTHER transactions whose commit fan-out
+  // targets the same primary (wire trailer — appended, never reordered).
+  std::vector<CommitExtra> extras;
 
   void Encode(wire::Writer& w) const {
     w.U64(group);
@@ -553,6 +585,7 @@ struct CommitMsg {
     w.U32(reply_to);
     decision_vs.Encode(w);
     w.Bool(fused);
+    w.Vector(extras, [&](const CommitExtra& e) { e.Encode(w); });
   }
   static CommitMsg Decode(wire::Reader& r) {
     CommitMsg m;
@@ -561,6 +594,8 @@ struct CommitMsg {
     m.reply_to = r.U32();
     m.decision_vs = Viewstamp::Decode(r);
     m.fused = r.Bool();
+    m.extras =
+        r.Vector<CommitExtra>([&] { return CommitExtra::Decode(r); });
     return m;
   }
 };
@@ -889,6 +924,127 @@ struct ShardPullMsg {
     m.from_group = r.U64();
     m.lo = r.String();
     m.hi = r.String();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Backup read leases (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+// Primary → backup: a per-backup read lease pinned to the granting view.
+// Renewed on the existing CommBuffer ack traffic (no dedicated timer): the
+// primary re-grants whenever it processes an ack from the backup and at
+// least half the lease duration has elapsed since the last grant. The grant
+// carries the primary's current sub-majority stable watermark so the backup
+// can bound what it serves (a read is admitted only up to
+// min(applied_ts, lease stable_ts)).
+struct LeaseGrantMsg {
+  static constexpr MsgType kType = MsgType::kLeaseGrant;
+  GroupId group = 0;
+  // The view this lease pins. A backup discards grants for any view other
+  // than the one it is actively serving.
+  ViewId viewid;
+  Mid from = 0;  // the granting primary
+  // Monotone per-view grant sequence; stale reorderings are dropped.
+  std::uint64_t seq = 0;
+  // The primary's StableTs() at grant time.
+  std::uint64_t stable_ts = 0;
+  // Lease validity from the moment of receipt, in host-clock units. The
+  // receiver starts the clock at delivery, so clock skew shortens (never
+  // lengthens) the usable window relative to the primary's intent.
+  std::uint64_t duration = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    viewid.Encode(w);
+    w.U32(from);
+    w.U64(seq);
+    w.U64(stable_ts);
+    w.U64(duration);
+  }
+  static LeaseGrantMsg Decode(wire::Reader& r) {
+    LeaseGrantMsg m;
+    m.group = r.U64();
+    m.viewid = ViewId::Decode(r);
+    m.from = r.U32();
+    m.seq = r.U64();
+    m.stable_ts = r.U64();
+    m.duration = r.U64();
+    return m;
+  }
+};
+
+// Client → any cohort of a group: read one object's committed value. The
+// horizon is the highest viewstamp any value previously observed by this
+// client session was served at — the cohort must refuse rather than serve
+// state older than it (monotonic sessions; DESIGN.md §14).
+struct BackupReadMsg {
+  static constexpr MsgType kType = MsgType::kBackupRead;
+  GroupId group = 0;
+  std::string uid;
+  Viewstamp horizon;
+  std::uint64_t corr = 0;  // client correlation id, echoed in the reply
+  Mid reply_to = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(group);
+    w.String(uid);
+    horizon.Encode(w);
+    w.U64(corr);
+    w.U32(reply_to);
+  }
+  static BackupReadMsg Decode(wire::Reader& r) {
+    BackupReadMsg m;
+    m.group = r.U64();
+    m.uid = r.String();
+    m.horizon = Viewstamp::Decode(r);
+    m.corr = r.U64();
+    m.reply_to = r.U32();
+    return m;
+  }
+};
+
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,
+  // The serving cohort holds no valid lease for the current view: retry at
+  // the primary and expect this member to stay leaseless for a while.
+  // primary_hint names the cohort believed to be primary (0 = unknown).
+  kWrongLease = 1,
+  kNotFound = 2,
+  // The cohort holds a valid lease but its provably-stable prefix does not
+  // yet cover the client's horizon (or this object's latest committed
+  // version). Transient — the watermark advances with the very next lease
+  // renewal — so retry at the primary WITHOUT writing the member off.
+  kTooNew = 3,
+};
+
+struct BackupReadReplyMsg {
+  static constexpr MsgType kType = MsgType::kBackupReadReply;
+  std::uint64_t corr = 0;
+  ReadStatus status = ReadStatus::kWrongLease;
+  std::vector<std::uint8_t> value;
+  // The viewstamp the value is serialized at: {serving view, install ts of
+  // the committed version}. The client folds it into its session horizon.
+  Viewstamp served_vs;
+  Mid primary_hint = 0;
+
+  void Encode(wire::Writer& w) const {
+    w.U64(corr);
+    w.U8(static_cast<std::uint8_t>(status));
+    w.Bytes(value);
+    served_vs.Encode(w);
+    w.U32(primary_hint);
+  }
+  static BackupReadReplyMsg Decode(wire::Reader& r) {
+    BackupReadReplyMsg m;
+    m.corr = r.U64();
+    std::uint8_t s = r.U8();
+    if (s > 3) r.MarkBad();
+    m.status = static_cast<ReadStatus>(s);
+    m.value = r.Bytes();
+    m.served_vs = Viewstamp::Decode(r);
+    m.primary_hint = r.U32();
     return m;
   }
 };

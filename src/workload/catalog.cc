@@ -1,0 +1,78 @@
+#include "workload/catalog.h"
+
+#include <utility>
+
+namespace vsr::workload {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+std::string CatalogKey(int i) { return "item" + std::to_string(i); }
+
+void RegisterCatalogProcs(core::Cohort& cohort) {
+  cohort.RegisterProc(
+      "put",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
+        const std::string args = ctx.ArgsAsString();
+        auto eq = args.find('=');
+        if (eq == std::string::npos) throw core::TxnError("bad args: " + args);
+        co_await ctx.Write(args.substr(0, eq), args.substr(eq + 1));
+        co_return Bytes("ok");
+      });
+  cohort.RegisterProc(
+      "bump",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
+        const std::string item = ctx.ArgsAsString();
+        auto v = co_await ctx.ReadForUpdate(item);
+        // Descriptions are "v<n>"; a bump rewrites to "v<n+1>". Monotone by
+        // construction, which is what the serializability audit leans on.
+        long long version = 0;
+        if (v && v->size() > 1 && (*v)[0] == 'v') {
+          version = std::stoll(v->substr(1));
+        }
+        const std::string next = "v" + std::to_string(version + 1);
+        co_await ctx.Write(item, next);
+        co_return Bytes(next);
+      });
+  cohort.RegisterProc(
+      "get",
+      [](core::ProcContext& ctx) -> host::Task<std::vector<std::uint8_t>> {
+        auto v = co_await ctx.Read(ctx.ArgsAsString());
+        co_return Bytes(v.value_or(""));
+      });
+}
+
+void RegisterCatalogProcs(client::Cluster& cluster, vr::GroupId group) {
+  for (core::Cohort* c : cluster.Cohorts(group)) RegisterCatalogProcs(*c);
+}
+
+core::TxnBody MakeCatalogPutTxn(vr::GroupId group, std::string item,
+                                std::string desc) {
+  return [group, item = std::move(item),
+          desc = std::move(desc)](core::TxnHandle& h) -> host::Task<bool> {
+    co_await h.Call(group, "put", item + "=" + desc);
+    co_return true;
+  };
+}
+
+core::TxnBody MakeCatalogBumpTxn(vr::GroupId group, std::string item) {
+  return [group, item = std::move(item)](core::TxnHandle& h)
+             -> host::Task<bool> {
+    co_await h.Call(group, "bump", item);
+    co_return true;
+  };
+}
+
+core::TxnBody MakeCatalogGetTxn(vr::GroupId group, std::string item) {
+  return [group, item = std::move(item)](core::TxnHandle& h)
+             -> host::Task<bool> {
+    co_await h.Call(group, "get", item);
+    co_return true;
+  };
+}
+
+}  // namespace vsr::workload

@@ -1,0 +1,39 @@
+// Catalog workload: a read-mostly key/value table of item descriptions —
+// the exercise for backup read leases (DESIGN.md §14). Writers update item
+// entries through ordinary transactions at the primary; the overwhelming
+// read traffic goes through client::ReadClient, which a lease-holding
+// backup may answer without touching the primary at all.
+//
+// Procedures registered on a catalog group:
+//   put    "item=desc"  create or overwrite an item's description
+//   bump   "item"       rewrite the item with a version-bumped description
+//                       (read-modify-write; exercises per-object stamping)
+//   get    "item"       transactional read — the baseline every lease read
+//                       is compared against
+#pragma once
+
+#include <string>
+
+#include "client/cluster.h"
+#include "core/cohort.h"
+
+namespace vsr::workload {
+
+// Registers the catalog procedures on one cohort (call on every member of
+// the group — all replicas of a module carry identical code).
+void RegisterCatalogProcs(core::Cohort& cohort);
+
+// Convenience: registers on every cohort of a simulated cluster's group.
+void RegisterCatalogProcs(client::Cluster& cluster, vr::GroupId group);
+
+// The uid for item number i ("item<i>").
+std::string CatalogKey(int i);
+
+// Transaction bodies (run at a client group's primary).
+core::TxnBody MakeCatalogPutTxn(vr::GroupId group, std::string item,
+                                std::string desc);
+core::TxnBody MakeCatalogBumpTxn(vr::GroupId group, std::string item);
+// Transactional read of one item — the primary-only baseline read path.
+core::TxnBody MakeCatalogGetTxn(vr::GroupId group, std::string item);
+
+}  // namespace vsr::workload

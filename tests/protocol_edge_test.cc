@@ -627,6 +627,7 @@ core::CohortStats SumStats(client::Cluster& cluster, vr::GroupId g) {
     sum.prepares_overtaken_by_commit += s.prepares_overtaken_by_commit;
     sum.commits_applied += s.commits_applied;
     sum.queries_resolved += s.queries_resolved;
+    sum.sibling_query_resolutions += s.sibling_query_resolutions;
   }
   return sum;
 }
@@ -891,6 +892,252 @@ TEST(CommitFusion, DuplicatedLossyNetworkKeepsFusedCommitsExactlyOnce) {
   }
   // The dup/loss mix must actually exercise the idempotence paths.
   EXPECT_GT(shard_sum.duplicate_prepares_answered, 0u);
+}
+
+// §3.6 sibling fallback: a prepared participant whose coordinator group is
+// partitioned away AFTER the decision was made (but before its commit
+// message arrived) must not stay wedged until the partition heals — the
+// prepare's pset named the sibling participants, and a sibling that already
+// applied the decision answers the query authoritatively.
+TEST(Queries, PartitionedParticipantResolvesViaSiblings) {
+  Cluster cluster(ClusterOptions{.seed = 104});
+  auto bank = workload::SetupShardedBank(cluster, 2, 3, 8);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+  ASSERT_EQ(workload::FundShardedAccounts(cluster, bank, 100), 8);
+
+  core::Cohort* coord = cluster.AnyPrimary(bank.client_group);
+  ASSERT_NE(coord, nullptr);
+  // Stretch the decision coalesce window so the commit fan-out provably
+  // happens after the link cut below; only the retry path (direct sends)
+  // can deliver the decision, and those the cut blocks toward shard 1.
+  coord->mutable_options().decision_coalesce_delay = 5 * sim::kSecond;
+
+  client::ShardRouter router(cluster.directory());
+  vr::TxnOutcome outcome = vr::TxnOutcome::kUnknown;
+  bool done = false;
+  coord->SpawnTransaction(
+      workload::MakeShardedTransferTxn(router, "a000", "a004", 7),
+      [&](vr::TxnOutcome o) {
+        outcome = o;
+        done = true;
+      });
+  const sim::Time deadline = cluster.sim().Now() + 10 * sim::kSecond;
+  while (!done && cluster.sim().Now() < deadline) {
+    cluster.RunFor(100 * sim::kMicrosecond);
+  }
+  ASSERT_TRUE(done);
+  ASSERT_EQ(outcome, vr::TxnOutcome::kCommitted);  // fused, reported at buffer
+
+  // Both participants are prepared; the decision is replicated at the
+  // coordinator group but no CommitMsg has been flushed yet (and the direct
+  // retry sends have not started). Cut every coordinator<->shard-1 link
+  // (both directions) NOW: shard 1 can neither receive the commit nor reach
+  // any coordinator cohort with its queries.
+  for (auto* a : cluster.Cohorts(bank.client_group)) {
+    for (auto* b : cluster.Cohorts(bank.shards[1])) {
+      cluster.network().SetLinkDown(a->mid(), b->mid(), true);
+    }
+  }
+
+  // Shard 0 learns the decision from the coordinator's commit retries;
+  // shard 1's janitor queries the coordinator group (dead air), then falls
+  // back to its pset sibling — shard 0 — and resolves committed. No heal.
+  const sim::Time resolve_deadline = cluster.sim().Now() + 60 * sim::kSecond;
+  while (cluster.sim().Now() < resolve_deadline &&
+         workload::ShardedCommittedBalance(cluster, "a004") != 107) {
+    cluster.RunFor(100 * sim::kMillisecond);
+  }
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a000"), 93);
+  EXPECT_EQ(workload::ShardedCommittedBalance(cluster, "a004"), 107);
+  EXPECT_GE(SumStats(cluster, bank.shards[1]).sibling_query_resolutions, 1u);
+  for (auto* c : cluster.Cohorts(bank.shards[1])) {
+    EXPECT_TRUE(c->objects().ActiveTxns().empty())
+        << "cohort " << c->mid() << " still holds the prepared transaction";
+  }
+  cluster.network().Heal();
+}
+
+// -- backup read leases (DESIGN.md §14) -------------------------------------
+
+namespace {
+
+// Collects backup-read replies sent to a raw test mid.
+struct ReadReplyCapture : net::FrameHandler {
+  std::vector<vr::BackupReadReplyMsg> replies;
+  void OnFrame(const net::Frame& f) override {
+    if (static_cast<vr::MsgType>(f.type) != vr::MsgType::kBackupReadReply) {
+      return;
+    }
+    wire::Reader r(f.payload);
+    auto m = vr::BackupReadReplyMsg::Decode(r);
+    if (r.ok()) replies.push_back(std::move(m));
+  }
+};
+
+std::optional<vr::BackupReadReplyMsg> OneDirectRead(
+    Cluster& cluster, ReadReplyCapture& capture, vr::Mid from, vr::Mid to,
+    vr::GroupId group, const std::string& uid, vr::Viewstamp horizon = {}) {
+  static std::uint64_t corr = 50000;
+  vr::BackupReadMsg m;
+  m.group = group;
+  m.uid = uid;
+  m.horizon = horizon;
+  m.corr = ++corr;
+  m.reply_to = from;
+  cluster.network().Send(from, to,
+                         static_cast<std::uint16_t>(vr::MsgType::kBackupRead),
+                         vr::EncodeMsg(m));
+  const sim::Time deadline = cluster.sim().Now() + 1 * sim::kSecond;
+  while (cluster.sim().Now() < deadline) {
+    cluster.RunFor(1 * sim::kMillisecond);
+    for (auto& r : capture.replies) {
+      if (r.corr == m.corr) return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// The revocation race: a backup partitioned away with a still-valid 60s
+// lease keeps serving the OLD view's committed state (safe — those values
+// survive every view formation by the lease admission rule), but it must
+// REFUSE any session that has already observed the new view, no matter how
+// much lease timer remains. The lease is pinned to the viewstamp's view;
+// view formation revokes it crashed-equivalent, and a straggler that never
+// heard about the new view is protected by the same pin.
+TEST(Leases, StaleLeaseNeverServesASessionFromTheFuture) {
+  ClusterOptions opts;
+  opts.seed = 105;
+  opts.cohort.backup_reads = true;
+  // Long lease: with the default 60ms lease the refusals below would also
+  // be explainable by timer expiry. At 60s only the view pin can refuse.
+  opts.cohort.read_lease_duration = 60 * sim::kSecond;
+  Cluster cluster(opts);
+  // Five kv replicas: after isolating the straggler and crashing the old
+  // primary, the remaining three are still a majority and form a new view.
+  auto kv = cluster.AddGroup("kv", 5);
+  auto agents = cluster.AddGroup("agents", 3);
+  RegisterKvProcs(cluster, kv);
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilStable());
+
+  // Two writes: the second's acks renew the lease with a stable watermark
+  // covering the first's commit record. The 60s lease renews every 7.5
+  // simulated seconds (duration/8), so space them past that interval.
+  ASSERT_EQ(test::RunOneCall(cluster, agents, kv, "put", "x=old"),
+            vr::TxnOutcome::kCommitted);
+  cluster.RunFor(8 * sim::kSecond);
+  ASSERT_EQ(test::RunOneCall(cluster, agents, kv, "put", "pad=1"),
+            vr::TxnOutcome::kCommitted);
+  cluster.RunFor(20 * sim::kMillisecond);
+
+  ReadReplyCapture capture;
+  const vr::Mid test_mid = cluster.AllocateMid();
+  cluster.network().Register(test_mid, &capture);
+
+  core::Cohort* old_primary = cluster.AnyPrimary(kv);
+  ASSERT_NE(old_primary, nullptr);
+  const vr::ViewId old_view = old_primary->cur_viewid();
+  std::size_t primary_idx = 0;
+  core::Cohort* straggler = nullptr;
+  for (std::size_t i = 0; i < 5; ++i) {
+    core::Cohort* c = &cluster.CohortAt(kv, i);
+    if (c == old_primary) {
+      primary_idx = i;
+    } else if (straggler == nullptr) {
+      straggler = c;
+    }
+  }
+  ASSERT_NE(straggler, nullptr);
+  auto before =
+      OneDirectRead(cluster, capture, test_mid, straggler->mid(), kv, "x");
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->status, vr::ReadStatus::kOk);  // lease live in old view
+
+  // Isolate the lease-holding straggler from its group and the agents (the
+  // test mid keeps its links, so we can still probe it), and keep it from
+  // churning into view formation on its own.
+  straggler->mutable_options().liveness_timeout = 600 * sim::kSecond;
+  for (auto* c : cluster.Cohorts(kv)) {
+    if (c != straggler) {
+      cluster.network().SetLinkDown(straggler->mid(), c->mid(), true);
+    }
+  }
+  for (auto* c : cluster.Cohorts(agents)) {
+    cluster.network().SetLinkDown(straggler->mid(), c->mid(), true);
+  }
+
+  // Crash the primary for good: the three connected replicas form a new
+  // view the straggler never hears about, and commit a newer x there.
+  cluster.Crash(kv, primary_idx);
+  core::Cohort* new_primary = nullptr;
+  const sim::Time deadline = cluster.sim().Now() + 30 * sim::kSecond;
+  while (cluster.sim().Now() < deadline) {
+    cluster.RunFor(100 * sim::kMillisecond);
+    new_primary = cluster.AnyPrimary(kv);
+    if (new_primary != nullptr && new_primary != straggler &&
+        new_primary->cur_viewid() > old_view) {
+      break;
+    }
+    new_primary = nullptr;
+  }
+  ASSERT_NE(new_primary, nullptr);
+  ASSERT_EQ(test::RunOneCallWithRetry(cluster, agents, kv, "put", "x=new"),
+            vr::TxnOutcome::kCommitted);
+
+  // A session reads x at the new primary and observes the new view.
+  auto at_new = OneDirectRead(cluster, capture, test_mid, new_primary->mid(),
+                              kv, "x");
+  ASSERT_TRUE(at_new.has_value());
+  ASSERT_EQ(at_new->status, vr::ReadStatus::kOk);
+  ASSERT_EQ(std::string(at_new->value.begin(), at_new->value.end()), "new");
+  ASSERT_GT(at_new->served_vs.view, old_view);
+
+  // That session now asks the straggler. Its lease has ~50 simulated
+  // seconds of timer left — and it must still refuse: the horizon's view
+  // is beyond the view its lease pins, so serving could hand the session
+  // the overwritten value.
+  auto stale = OneDirectRead(cluster, capture, test_mid, straggler->mid(), kv,
+                             "x", at_new->served_vs);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->status, vr::ReadStatus::kTooNew);
+
+  // A fresh session (empty horizon) is still served the OLD committed value
+  // under the old-view lease — legal (serializable before the new write)
+  // and exactly why leases need no synchronous revocation round.
+  auto fresh = OneDirectRead(cluster, capture, test_mid, straggler->mid(), kv,
+                             "x");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->status, vr::ReadStatus::kOk);
+  EXPECT_EQ(std::string(fresh->value.begin(), fresh->value.end()), "old");
+  EXPECT_EQ(fresh->served_vs.view, old_view);
+
+  // Heal: the straggler adopts the new view (revoking the old lease), gets
+  // a fresh grant from the catch-up ack traffic, and serves the new value
+  // to the future session.
+  for (auto* c : cluster.Cohorts(kv)) {
+    if (c != straggler) {
+      cluster.network().SetLinkDown(straggler->mid(), c->mid(), false);
+    }
+  }
+  for (auto* c : cluster.Cohorts(agents)) {
+    cluster.network().SetLinkDown(straggler->mid(), c->mid(), false);
+  }
+  ASSERT_TRUE(cluster.RunUntilStable());
+  std::optional<vr::BackupReadReplyMsg> healed;
+  const sim::Time heal_deadline = cluster.sim().Now() + 20 * sim::kSecond;
+  while (cluster.sim().Now() < heal_deadline) {
+    healed = OneDirectRead(cluster, capture, test_mid, straggler->mid(), kv,
+                           "x", at_new->served_vs);
+    if (healed && healed->status == vr::ReadStatus::kOk) break;
+    cluster.RunFor(500 * sim::kMillisecond);
+  }
+  ASSERT_TRUE(healed.has_value());
+  ASSERT_EQ(healed->status, vr::ReadStatus::kOk);
+  EXPECT_EQ(std::string(healed->value.begin(), healed->value.end()), "new");
+  EXPECT_GT(healed->served_vs.view, old_view);
 }
 
 }  // namespace

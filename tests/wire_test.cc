@@ -234,8 +234,49 @@ TEST(Messages, GoldenBytesCommitMsg) {
       0x01, 0, 0, 0,              // decision_vs.view.mid = 1
       0x07, 0, 0, 0, 0, 0, 0, 0,  // decision_vs.ts = 7
       0x01,                       // fused = true
+      0x00, 0, 0, 0,              // extras count = 0 (trailer)
   };
   EXPECT_EQ(vr::EncodeMsg(m), expected);
+}
+
+// Piggybacked sibling decisions ride as a wire trailer: appended, never
+// reordered — a decoder reading the prefix sees the plain commit unchanged.
+TEST(Messages, CommitMsgExtrasRoundTrip) {
+  vr::CommitMsg m;
+  m.group = 3;
+  m.aid = {1, {2, 2}, 9};
+  m.reply_to = 4;
+  m.decision_vs = vr::Viewstamp{{5, 1}, 7};
+  m.fused = true;
+  vr::CommitExtra e1;
+  e1.aid = {1, {2, 2}, 10};
+  e1.decision_vs = vr::Viewstamp{{5, 1}, 8};
+  e1.fused = false;
+  vr::CommitExtra e2;
+  e2.aid = {1, {2, 2}, 11};
+  e2.decision_vs = vr::Viewstamp{{5, 1}, 9};
+  e2.fused = true;
+  m.extras = {e1, e2};
+  auto out = RoundTrip(m);
+  ASSERT_EQ(out.extras.size(), 2u);
+  EXPECT_EQ(out.extras[0].aid, e1.aid);
+  EXPECT_EQ(out.extras[0].decision_vs, e1.decision_vs);
+  EXPECT_FALSE(out.extras[0].fused);
+  EXPECT_EQ(out.extras[1].aid, e2.aid);
+  EXPECT_EQ(out.extras[1].decision_vs, e2.decision_vs);
+  EXPECT_TRUE(out.extras[1].fused);
+
+  // Every strict prefix of the encoding must be rejected, extras included.
+  Writer w;
+  m.Encode(w);
+  auto bytes = w.Take();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    Reader r(prefix);
+    (void)vr::CommitMsg::Decode(r);
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
 }
 
 // The prepared-ack's piggybacked record identity (prepared_vs) is pinned as
@@ -483,6 +524,108 @@ TEST(Messages, SnapshotChunkEveryTruncationIsDetected) {
     (void)vr::SnapshotChunkMsg::Decode(r);
     EXPECT_FALSE(r.ok()) << "prefix length " << len;
   }
+}
+
+// Pins the exact wire layout of the lease-grant message (DESIGN.md §14).
+TEST(Messages, GoldenBytesLeaseGrantMsg) {
+  vr::LeaseGrantMsg m;
+  m.group = 3;
+  m.viewid = {5, 1};
+  m.from = 2;
+  m.seq = 6;
+  m.stable_ts = 41;
+  m.duration = 60000;
+  const std::vector<std::uint8_t> expected = {
+      0x03, 0, 0, 0, 0, 0, 0, 0,  // group = 3 (u64 le)
+      0x05, 0, 0, 0, 0, 0, 0, 0,  // viewid.counter = 5
+      0x01, 0, 0, 0,              // viewid.mid = 1
+      0x02, 0, 0, 0,              // from = 2
+      0x06, 0, 0, 0, 0, 0, 0, 0,  // seq = 6
+      0x29, 0, 0, 0, 0, 0, 0, 0,  // stable_ts = 41
+      0x60, 0xea, 0, 0, 0, 0, 0, 0,  // duration = 60000
+  };
+  EXPECT_EQ(vr::EncodeMsg(m), expected);
+}
+
+TEST(Messages, BackupReadRoundTrip) {
+  vr::BackupReadMsg m;
+  m.group = 3;
+  m.uid = "item7";
+  m.horizon = vr::Viewstamp{{5, 1}, 40};
+  m.corr = 99;
+  m.reply_to = 12;
+  auto out = RoundTrip(m);
+  EXPECT_EQ(out.group, m.group);
+  EXPECT_EQ(out.uid, m.uid);
+  EXPECT_EQ(out.horizon, m.horizon);
+  EXPECT_EQ(out.corr, m.corr);
+  EXPECT_EQ(out.reply_to, m.reply_to);
+
+  vr::BackupReadReplyMsg r;
+  r.corr = 99;
+  r.status = vr::ReadStatus::kOk;
+  r.value = {'v', '4'};
+  r.served_vs = vr::Viewstamp{{5, 1}, 38};
+  r.primary_hint = 0;
+  auto rout = RoundTrip(r);
+  EXPECT_EQ(rout.corr, r.corr);
+  EXPECT_EQ(rout.status, vr::ReadStatus::kOk);
+  EXPECT_EQ(rout.value, r.value);
+  EXPECT_EQ(rout.served_vs, r.served_vs);
+
+  r.status = vr::ReadStatus::kWrongLease;
+  r.value.clear();
+  r.primary_hint = 7;
+  rout = RoundTrip(r);
+  EXPECT_EQ(rout.status, vr::ReadStatus::kWrongLease);
+  EXPECT_EQ(rout.primary_hint, 7u);
+}
+
+TEST(Messages, BackupReadReplyRejectsBadStatus) {
+  vr::BackupReadReplyMsg r;
+  r.corr = 1;
+  Writer w;
+  r.Encode(w);
+  auto bytes = w.Take();
+  bytes[8] = 0x7f;  // status byte, right after the u64 corr
+  Reader rd(bytes);
+  (void)vr::BackupReadReplyMsg::Decode(rd);
+  EXPECT_FALSE(rd.ok());
+}
+
+TEST(Messages, LeaseAndReadEveryTruncationIsDetected) {
+  vr::LeaseGrantMsg g;
+  g.group = 3;
+  g.viewid = {5, 1};
+  g.from = 2;
+  g.seq = 6;
+  g.stable_ts = 41;
+  g.duration = 60000;
+  vr::BackupReadMsg m;
+  m.group = 3;
+  m.uid = "item7";
+  m.horizon = vr::Viewstamp{{5, 1}, 40};
+  m.corr = 99;
+  m.reply_to = 12;
+  vr::BackupReadReplyMsg rep;
+  rep.corr = 99;
+  rep.status = vr::ReadStatus::kOk;
+  rep.value = {'v', '4'};
+  rep.served_vs = vr::Viewstamp{{5, 1}, 38};
+  rep.primary_hint = 7;
+  auto check = [](const std::vector<std::uint8_t>& bytes, auto decode) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(len));
+      Reader r(prefix);
+      decode(r);
+      EXPECT_FALSE(r.ok()) << "prefix length " << len;
+    }
+  };
+  check(vr::EncodeMsg(g), [](Reader& r) { (void)vr::LeaseGrantMsg::Decode(r); });
+  check(vr::EncodeMsg(m), [](Reader& r) { (void)vr::BackupReadMsg::Decode(r); });
+  check(vr::EncodeMsg(rep),
+        [](Reader& r) { (void)vr::BackupReadReplyMsg::Decode(r); });
 }
 
 TEST(Messages, QueryAndOutcomeRoundTrip) {
